@@ -1,0 +1,56 @@
+// Shared helpers for the paper-reproduction benches: the file-size ladder of
+// Tables 2-4, wall-clock repetition, and aligned table printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace fountain::bench {
+
+/// The paper's benchmark ladder: file sizes with 1 KB packets.
+struct FileSize {
+  const char* label;
+  std::size_t k;  // packets of 1 KB
+};
+
+inline const std::vector<FileSize>& size_ladder() {
+  static const std::vector<FileSize> sizes = {
+      {"250 KB", 250},  {"500 KB", 500},  {"1 MB", 1024},  {"2 MB", 2048},
+      {"4 MB", 4096},   {"8 MB", 8192},   {"16 MB", 16384}};
+  return sizes;
+}
+
+/// Reads an environment override (used to shrink or extend sweeps).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+/// Median of `reps` timed runs of `fn` (seconds).
+inline double time_median(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    util::WallTimer timer;
+    fn();
+    times.push_back(timer.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace fountain::bench

@@ -1,0 +1,124 @@
+// Google-Benchmark microbenchmarks for the data-path kernels underlying
+// every timing table: the word-wise XOR, the GF(2^8)/GF(2^16) fused
+// multiply-accumulate buffer kernels, the XOR-only Cauchy kernel, and
+// end-to-end Tornado encode/decode at a mid-size block.
+#include <benchmark/benchmark.h>
+
+#include "core/tornado.hpp"
+#include "gf/cauchy_xor.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf65536.hpp"
+#include "util/random.hpp"
+#include "util/symbols.hpp"
+
+namespace {
+
+using namespace fountain;
+
+void BM_XorInto(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  util::SymbolMatrix m(2, bytes);
+  m.fill_random(1);
+  for (auto _ : state) {
+    util::xor_into(m.row(0), m.row(1));
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_XorInto)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_GF256Fma(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  util::SymbolMatrix m(2, bytes);
+  m.fill_random(2);
+  for (auto _ : state) {
+    gf::GF256::fma_buffer(m.row(0).data(), m.row(1).data(), bytes, 0x8E);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_GF256Fma)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_GF65536Fma(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  util::SymbolMatrix m(2, bytes);
+  m.fill_random(3);
+  for (auto _ : state) {
+    gf::GF65536::fma_buffer(m.row(0).data(), m.row(1).data(), bytes, 0xBEEF);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_GF65536Fma)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_CauchyXorFma(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  util::SymbolMatrix m(2, bytes);
+  m.fill_random(4);
+  for (auto _ : state) {
+    gf::cauchy_xor_fma(m.row(0).data(), m.row(1).data(), bytes, 0x8E);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CauchyXorFma)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_TornadoEncode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, 1024, 5));
+  util::SymbolMatrix src(k, 1024);
+  src.fill_random(5);
+  util::SymbolMatrix enc(code.encoded_count(), 1024);
+  for (auto _ : state) {
+    code.encode(src, enc);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * 1024));
+}
+BENCHMARK(BM_TornadoEncode)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TornadoDecode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, 1024, 6));
+  util::SymbolMatrix src(k, 1024);
+  src.fill_random(6);
+  util::SymbolMatrix enc(code.encoded_count(), 1024);
+  code.encode(src, enc);
+  util::Rng rng(7);
+  const auto order = rng.permutation(code.encoded_count());
+  for (auto _ : state) {
+    auto dec = code.make_decoder();
+    for (const auto index : order) {
+      if (dec->add_symbol(index, enc.row(index))) break;
+    }
+    benchmark::DoNotOptimize(dec->complete());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * 1024));
+}
+BENCHMARK(BM_TornadoDecode)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TornadoStructuralDecode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, 2, 8));
+  util::Rng rng(9);
+  const auto order = rng.permutation(code.encoded_count());
+  auto dec = code.make_structural_decoder();
+  for (auto _ : state) {
+    dec->reset();
+    for (const auto index : order) {
+      if (dec->add_index(index)) break;
+    }
+    benchmark::DoNotOptimize(dec->complete());
+  }
+}
+BENCHMARK(BM_TornadoStructuralDecode)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Reproduces Table 1: "Properties of Tornado vs. Reed-Solomon codes" — with
+// measured numbers from this implementation instead of asymptotic formulas:
+// reception overhead (RS: exactly 0; Tornado: measured), basic operation,
+// and measured encode/decode times at a 1 MB reference size.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/tornado.hpp"
+#include "fec/reed_solomon.hpp"
+#include "sim/overhead.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace fountain;
+
+constexpr std::size_t kPacket = 1024;
+constexpr std::size_t kRef = 1024;  // 1 MB reference file
+
+double encode_seconds(const fec::ErasureCode& code) {
+  util::SymbolMatrix src(code.source_count(), kPacket);
+  src.fill_random(1);
+  util::SymbolMatrix enc(code.encoded_count(), kPacket);
+  return bench::time_median(3, [&] { code.encode(src, enc); });
+}
+
+double decode_seconds(const fec::ErasureCode& code, util::Rng& rng) {
+  util::SymbolMatrix src(code.source_count(), kPacket);
+  src.fill_random(2);
+  util::SymbolMatrix enc(code.encoded_count(), kPacket);
+  code.encode(src, enc);
+  const auto order = rng.permutation(code.encoded_count());
+  return bench::time_median(3, [&] {
+    auto dec = code.make_decoder();
+    for (const auto index : order) {
+      if (dec->add_symbol(index, enc.row(index))) break;
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(3);
+  core::TornadoCode tornado_a(core::TornadoParams::tornado_a(kRef, kPacket, 4));
+  core::TornadoCode tornado_b(core::TornadoParams::tornado_b(kRef, kPacket, 4));
+  const auto cauchy =
+      fec::make_reed_solomon(fec::RsKind::kCauchy, kRef, kRef, kPacket);
+
+  const auto oa = sim::sample_overhead_distribution(tornado_a, 100, 5);
+  const auto ob = sim::sample_overhead_distribution(tornado_b, 100, 5);
+  const auto ors = sim::sample_overhead_distribution(*cauchy, 20, 5);
+
+  std::printf("Table 1: Properties of Tornado vs. Reed-Solomon codes "
+              "(measured, 1 MB file, P = 1 KB, n = 2k)\n\n");
+  std::printf("%-28s %18s %18s %18s\n", "", "Tornado A", "Tornado B",
+              "Reed-Solomon");
+  bench::print_rule(86);
+  std::printf("%-28s %17.4f%% %17.4f%% %17.4f%%\n",
+              "Reception overhead (mean)", 100.0 * sim::mean_of(oa),
+              100.0 * sim::mean_of(ob), 100.0 * sim::mean_of(ors));
+  std::printf("%-28s %18s %18s %18s\n", "Basic operation", "XOR", "XOR",
+              "GF(2^16) ops");
+  std::printf("%-28s %17.4fs %17.4fs %17.4fs\n", "Encoding time",
+              encode_seconds(tornado_a), encode_seconds(tornado_b),
+              encode_seconds(*cauchy));
+  std::printf("%-28s %17.4fs %17.4fs %17.4fs\n", "Decoding time",
+              decode_seconds(tornado_a, rng), decode_seconds(tornado_b, rng),
+              decode_seconds(*cauchy, rng));
+  std::printf("%-28s %18zu %18zu %18s\n", "Graph edges (XOR cost)",
+              tornado_a.cascade().total_edges(),
+              tornado_b.cascade().total_edges(), "-");
+  std::printf("\nShape check vs paper: RS needs 0 overhead but pays complex "
+              "field arithmetic;\nTornado trades a few percent overhead for "
+              "orders-of-magnitude faster coding.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Table 2: "Comparison of encoding times for erasure codes."
+// Sizes 250 KB .. 16 MB (1 KB packets), stretch factor 2: Vandermonde RS,
+// Cauchy RS, Tornado A, Tornado B.
+//
+// Reed-Solomon encoding is Theta(k * l) field operations per packet byte; at
+// the upper sizes a single run took the 1998 authors hours (they report
+// 30802 s for Cauchy at 16 MB, and "not available" for large Vandermonde).
+// We run RS for real up to a size cap and report a quadratic fit
+// extrapolation above it, marked with '~'. Tornado always runs for real.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tornado.hpp"
+#include "fec/reed_solomon.hpp"
+#include "util/symbols.hpp"
+
+namespace {
+
+using namespace fountain;
+
+constexpr std::size_t kPacket = 1024;
+
+double run_encode(const fec::ErasureCode& code) {
+  util::SymbolMatrix source(code.source_count(), kPacket);
+  source.fill_random(1);
+  util::SymbolMatrix encoding(code.encoded_count(), kPacket);
+  return bench::time_median(3, [&] { code.encode(source, encoding); });
+}
+
+struct Fit {
+  // t(k) = c * k^2 (RS encode with l = k is quadratic in k)
+  double c = 0.0;
+  void fit(const std::vector<std::pair<std::size_t, double>>& points) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& [k, t] : points) {
+      const double k2 = static_cast<double>(k) * static_cast<double>(k);
+      num += t * k2;
+      den += k2 * k2;
+    }
+    c = den > 0 ? num / den : 0.0;
+  }
+  double at(std::size_t k) const {
+    return c * static_cast<double>(k) * static_cast<double>(k);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t rs_cap = bench::env_size("FOUNTAIN_RS_ENCODE_CAP", 2048);
+
+  std::printf("Table 2: Encoding Benchmarks (seconds; P = 1 KB, n = 2k)\n");
+  std::printf("('~' marks quadratic-fit extrapolation beyond the RS size cap "
+              "of %zu packets)\n\n",
+              rs_cap);
+  std::printf("%-8s %14s %14s %12s %12s\n", "SIZE", "Vandermonde", "Cauchy",
+              "Tornado A", "Tornado B");
+  bench::print_rule(66);
+
+  std::vector<std::pair<std::size_t, double>> vand_points;
+  std::vector<std::pair<std::size_t, double>> cauchy_points;
+  Fit vand_fit;
+  Fit cauchy_fit;
+
+  for (const auto& size : bench::size_ladder()) {
+    const std::size_t k = size.k;
+    std::string vand;
+    std::string cauchy;
+    if (k <= rs_cap) {
+      const auto vc =
+          fec::make_reed_solomon(fec::RsKind::kVandermonde, k, k, kPacket);
+      const double tv = run_encode(*vc);
+      vand_points.emplace_back(k, tv);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", tv);
+      vand = buf;
+      const auto cc =
+          fec::make_reed_solomon(fec::RsKind::kCauchy, k, k, kPacket);
+      const double tc = run_encode(*cc);
+      cauchy_points.emplace_back(k, tc);
+      std::snprintf(buf, sizeof(buf), "%.3f", tc);
+      cauchy = buf;
+    } else {
+      vand_fit.fit(vand_points);
+      cauchy_fit.fit(cauchy_points);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "~%.1f", vand_fit.at(k));
+      vand = buf;
+      std::snprintf(buf, sizeof(buf), "~%.1f", cauchy_fit.at(k));
+      cauchy = buf;
+    }
+
+    core::TornadoCode a(core::TornadoParams::tornado_a(k, kPacket, 42));
+    core::TornadoCode b(core::TornadoParams::tornado_b(k, kPacket, 42));
+    const double ta = run_encode(a);
+    const double tb = run_encode(b);
+
+    std::printf("%-8s %14s %14s %12.4f %12.4f\n", size.label, vand.c_str(),
+                cauchy.c_str(), ta, tb);
+  }
+
+  std::printf(
+      "\nShape check vs paper: RS times grow ~quadratically with file size;\n"
+      "Tornado times grow linearly and stay orders of magnitude smaller.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Section 8 extension: dispersity routing (after Rabin's information
+// dispersal). A source feeds digital-fountain packets down several network
+// paths with different delays and loss rates; the destination reconstructs
+// as soon as *any* sufficient mixture of packets arrives, regardless of
+// which paths delivered them. Congested paths delay packets but cannot stall
+// the transfer.
+//
+//   $ ./dispersity_routing [paths]
+//
+// Simulated as a packet-level event queue: path p has per-packet latency
+// L_p, jitter and loss; the destination consumes arrivals in delivery-time
+// order.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+#include "core/tornado.hpp"
+#include "net/loss.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+struct Arrival {
+  double time;
+  std::uint32_t index;
+  unsigned path;
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+struct Path {
+  double latency_ms;
+  double jitter_ms;
+  double send_interval_ms;  // pacing (inverse bandwidth)
+  double loss_rate;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fountain;
+
+  const unsigned path_count = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::size_t k = 2048;  // 2 MB at 1 KB packets
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, 1024, 13));
+  util::SymbolMatrix file(k, 1024);
+  file.fill_random(55);
+  util::SymbolMatrix encoding(code.encoded_count(), 1024);
+  code.encode(file, encoding);
+
+  // Heterogeneous paths: one fast/clean, the rest slower/lossier; the last
+  // is badly congested.
+  std::vector<Path> paths;
+  util::Rng rng(17);
+  for (unsigned p = 0; p < path_count; ++p) {
+    Path path;
+    path.latency_ms = 10.0 + 40.0 * p;
+    path.jitter_ms = 2.0 + 3.0 * p;
+    path.send_interval_ms = 0.4 + 0.2 * p;
+    path.loss_rate = p + 1 == path_count ? 0.30 : 0.02 + 0.04 * p;
+    paths.push_back(path);
+  }
+
+  std::printf("dispersity routing: %zu-packet file over %u paths\n", k,
+              path_count);
+  for (unsigned p = 0; p < path_count; ++p) {
+    std::printf("  path %u: latency %.0f ms, pacing %.1f ms/pkt, loss "
+                "%.0f%%\n",
+                p, paths[p].latency_ms, paths[p].send_interval_ms,
+                100.0 * paths[p].loss_rate);
+  }
+
+  // The source deals distinct encoding packets round-robin across paths (a
+  // digital fountain does not care which packets go where).
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> queue;
+  std::vector<std::unique_ptr<net::LossModel>> loss;
+  std::vector<double> next_send(path_count, 0.0);
+  for (unsigned p = 0; p < path_count; ++p) {
+    loss.push_back(std::make_unique<net::BernoulliLoss>(paths[p].loss_rate,
+                                                        rng()));
+  }
+  const auto order = rng.permutation(code.encoded_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const unsigned p = static_cast<unsigned>(i % path_count);
+    next_send[p] += paths[p].send_interval_ms;
+    if (loss[p]->lost()) continue;
+    const double delivery = next_send[p] + paths[p].latency_ms +
+                            paths[p].jitter_ms * rng.uniform();
+    queue.push(Arrival{delivery, order[i], p});
+  }
+
+  auto decoder = code.make_decoder();
+  std::vector<std::size_t> per_path(path_count, 0);
+  std::size_t received = 0;
+  double finish_time = 0.0;
+  while (!queue.empty()) {
+    const Arrival a = queue.top();
+    queue.pop();
+    ++received;
+    ++per_path[a.path];
+    if (decoder->add_symbol(a.index, encoding.row(a.index))) {
+      finish_time = a.time;
+      break;
+    }
+  }
+
+  if (!decoder->complete() || decoder->source() != file) {
+    std::printf("reconstruction FAILED\n");
+    return 1;
+  }
+  std::printf("\nreconstructed at t = %.1f ms from %zu packets "
+              "(overhead %.2f%%)\n",
+              finish_time, received,
+              100.0 * (static_cast<double>(received) / k - 1.0));
+  std::printf("per-path contributions:");
+  for (unsigned p = 0; p < path_count; ++p) {
+    std::printf(" path%u=%zu", p, per_path[p]);
+  }
+  std::printf("\npackets from every path were interchangeable — congested "
+              "paths only delayed\ntheir share, they could not stall the "
+              "transfer.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// The Section 7 prototype as a runnable simulation: a digital-fountain
+// server distributing a 2 MB file across 4 multicast layers, with receivers
+// that probe for capacity during bursts, join layers at synchronization
+// points and back off under congestion.
+//
+//   $ ./layered_session [receivers]
+//
+// Prints one line per receiver: observed loss, subscription moves, and the
+// three efficiency metrics of Section 7.3 (eta = eta_c * eta_d).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tornado.hpp"
+#include "proto/session.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fountain;
+
+  const std::size_t receivers = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  // The paper's prototype encoding: ~2 MB -> 8264 packets of 500 bytes.
+  const std::size_t k = 4132;
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, 500, 7));
+
+  proto::ProtocolConfig cfg;
+  cfg.layers = 4;
+
+  std::vector<proto::SimClientConfig> clients;
+  util::Rng rng(11);
+  for (std::size_t i = 0; i < receivers; ++i) {
+    proto::SimClientConfig c;
+    c.base_loss = 0.35 * rng.uniform();
+    c.initial_level = 0;
+    c.initial_capacity = static_cast<unsigned>(rng.below(cfg.layers));
+    c.capacity_change_prob = 0.01;
+    clients.push_back(c);
+  }
+
+  std::printf("layered digital fountain: %zu receivers, 4 layers, k = %zu "
+              "packets of 500 B (n = %zu)\n\n",
+              receivers, k, code.encoded_count());
+  const auto result = proto::run_session(code, cfg, clients, 3, 2000000);
+
+  std::printf("%-4s %9s %7s %8s %8s %8s %10s\n", "rx", "loss(%)", "moves",
+              "eta_d", "eta_c", "eta", "rounds");
+  for (std::size_t i = 0; i < result.receivers.size(); ++i) {
+    const auto& r = result.receivers[i];
+    std::printf("%-4zu %9.1f %7u %8.3f %8.3f %8.3f %10llu%s\n", i,
+                100.0 * r.observed_loss, r.level_changes, r.eta_d, r.eta_c,
+                r.eta,
+                static_cast<unsigned long long>(r.rounds_to_complete),
+                r.completed ? "" : " (incomplete)");
+  }
+
+  double worst_eta = 1.0;
+  bool all_done = true;
+  for (const auto& r : result.receivers) {
+    worst_eta = std::min(worst_eta, r.eta);
+    all_done = all_done && r.completed;
+  }
+  std::printf("\n%s; worst total efficiency %.3f\n",
+              all_done ? "all receivers reconstructed the file"
+                       : "some receivers incomplete",
+              worst_eta);
+  return all_done ? 0 : 1;
+}

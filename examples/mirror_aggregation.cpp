@@ -1,0 +1,94 @@
+// Section 8 extension: mirrored data. Several mirror servers carry the SAME
+// file and run digital fountains over the SAME code (same control info /
+// graph seed) but cycle independent random permutations. A client listens to
+// all mirrors at once and aggregates whatever arrives: with distinct-enough
+// permutations the streams complement each other, so download time shrinks
+// roughly with the number of mirrors.
+//
+//   $ ./mirror_aggregation [mirrors]
+//
+// The paper notes the caveat: at small stretch factors duplicate packets
+// across mirrors eventually collide. The run prints the measured duplicate
+// fraction so the effect is visible.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "carousel/carousel.hpp"
+#include "core/tornado.hpp"
+#include "net/loss.hpp"
+#include "proto/control.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fountain;
+
+  const unsigned mirrors = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::size_t file_bytes = 3 * 1000 * 1000 + 137;  // deliberately ragged
+  const std::size_t symbol_size = 1000;
+
+  // The control info all mirrors advertise (same code everywhere).
+  const proto::ControlInfo info = proto::make_control_info(
+      file_bytes, symbol_size, /*variant=*/0, /*graph_seed=*/99, /*layers=*/1,
+      /*permutation_seed=*/7);
+
+  std::vector<std::uint8_t> original(file_bytes);
+  util::Rng data_rng(3);
+  for (auto& b : original) b = static_cast<std::uint8_t>(data_rng());
+  const util::SymbolMatrix file =
+      proto::file_to_symbols(util::ConstByteSpan(original), symbol_size);
+
+  core::TornadoCode code(info.tornado_params());
+  util::SymbolMatrix encoding(code.encoded_count(), symbol_size);
+  code.encode(file, encoding);
+
+  std::printf("mirrored download: %zu-byte file (k = %zu), %u mirrors\n",
+              file_bytes, code.source_count(), mirrors);
+
+  // Each mirror: its own permutation, pacing and loss; client round-robins
+  // across whatever arrives per tick.
+  util::Rng rng(21);
+  std::vector<carousel::Carousel> cycles;
+  std::vector<std::unique_ptr<net::LossModel>> loss;
+  for (unsigned m = 0; m < mirrors; ++m) {
+    util::Rng crng(1000 + m);
+    cycles.push_back(
+        carousel::Carousel::random_permutation(code.encoded_count(), crng));
+    loss.push_back(
+        std::make_unique<net::BernoulliLoss>(0.05 + 0.05 * m, rng()));
+  }
+
+  auto decoder = code.make_decoder();
+  std::vector<std::uint8_t> seen(code.encoded_count(), 0);
+  std::size_t received = 0;
+  std::size_t duplicates = 0;
+  std::uint64_t ticks = 0;  // one tick = one packet slot per mirror
+  bool done = false;
+  for (std::uint64_t t = 0; !done; ++t) {
+    ++ticks;
+    for (unsigned m = 0; m < mirrors && !done; ++m) {
+      if (loss[m]->lost()) continue;
+      const std::uint32_t index = cycles[m].packet_at(t);
+      ++received;
+      if (seen[index]) {
+        ++duplicates;
+      } else {
+        seen[index] = 1;
+      }
+      done = decoder->add_symbol(index, encoding.row(index));
+    }
+  }
+
+  const auto bytes = proto::symbols_to_file(decoder->source(), file_bytes);
+  const bool ok = bytes == original;
+  std::printf("finished after %llu carousel slots (a single mirror needs "
+              "~%zu+): aggregate\nspeedup ~%.1fx\n",
+              static_cast<unsigned long long>(ticks), code.source_count(),
+              static_cast<double>(code.source_count()) /
+                  static_cast<double>(ticks));
+  std::printf("%zu packets received, duplicate fraction %.2f%% "
+              "(stretch-2 collision cost)\n",
+              received, 100.0 * duplicates / static_cast<double>(received));
+  std::printf("payload %s\n", ok ? "verified byte-identical" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// A working digital fountain over real UDP sockets (loopback), mirroring the
+// paper's prototype framing: 500-byte payloads tagged with a 12-byte header
+// (packet index, serial number, group number) for 512-byte datagrams.
+//
+//   $ ./udp_fountain [size_kb] [loss]
+//
+// The server thread cycles a random permutation of the Tornado A encoding of
+// a synthetic file through a UDP socket with an artificial drop rate; the
+// client runs the statistical decoding strategy of Section 7.2 and reports
+// efficiency. Everything runs in one process so the example is self-
+// contained and CI-friendly.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "carousel/carousel.hpp"
+#include "core/tornado.hpp"
+#include "net/loss.hpp"
+#include "net/packet_header.hpp"
+#include "net/udp.hpp"
+#include "proto/client.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fountain;
+
+  const std::size_t size_kb = argc > 1 ? std::atoi(argv[1]) : 512;
+  const double drop = argc > 2 ? std::atof(argv[2]) : 0.25;
+  const std::size_t payload_bytes = 500;
+  const std::size_t k = size_kb * 1024 / payload_bytes;
+
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, payload_bytes, 3));
+  util::SymbolMatrix file(k, payload_bytes);
+  file.fill_random(2025);
+  util::SymbolMatrix encoding(code.encoded_count(), payload_bytes);
+  code.encode(file, encoding);
+
+  net::UdpSocket client_sock;
+  client_sock.bind({"127.0.0.1", 0});
+  const auto port = client_sock.local_port();
+  std::printf("udp fountain: %zu KB file -> %zu packets of %zu B "
+              "(+12 B header), %.0f%% induced loss, port %u\n",
+              size_kb, code.encoded_count(), payload_bytes, 100.0 * drop,
+              port);
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    net::UdpSocket sock;
+    util::Rng rng(1);
+    net::BernoulliLoss channel(drop, 2);
+    const auto order =
+        carousel::Carousel::random_permutation(code.encoded_count(), rng);
+    std::uint32_t serial = 0;
+    for (std::uint64_t t = 0; !stop.load(std::memory_order_relaxed); ++t) {
+      const auto index = order.packet_at(t);
+      ++serial;
+      if (channel.lost()) continue;  // channel impairment
+      const auto wire = net::frame_packet(net::PacketHeader{index, serial, 0},
+                                          encoding.row(index));
+      sock.send_to({"127.0.0.1", port}, util::ConstByteSpan(wire));
+      // Pace the stream so the client-side socket buffer keeps up.
+      if (t % 32 == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  proto::StatisticalDataClient client(code, /*initial_margin=*/0.05);
+  util::WallTimer timer;
+  std::uint64_t received = 0;
+  bool done = false;
+  while (!done) {
+    const auto datagram = client_sock.receive(std::chrono::milliseconds(3000));
+    if (!datagram) {
+      std::printf("timed out waiting for packets\n");
+      break;
+    }
+    const auto parsed = net::parse_packet(util::ConstByteSpan(datagram->payload));
+    if (!parsed || parsed->payload.size() != payload_bytes) continue;
+    ++received;
+    done = client.on_packet(parsed->header.packet_index, parsed->payload);
+  }
+  const double elapsed = timer.seconds();
+  stop.store(true);
+  server.join();
+  if (!done) return 1;
+
+  const bool ok = client.source() == file;
+  std::printf("reconstructed in %.2f s from %llu datagrams "
+              "(%zu distinct, %zu decode attempt(s)) -> %s\n",
+              elapsed, static_cast<unsigned long long>(received),
+              client.distinct_received(), client.decode_attempts(),
+              ok ? "contents identical" : "MISMATCH");
+  std::printf("effective goodput: %.1f Mbit/s\n",
+              static_cast<double>(size_kb) * 8.0 / 1000.0 / elapsed);
+  return ok ? 0 : 1;
+}

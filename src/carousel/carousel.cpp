@@ -1,0 +1,22 @@
+#include "carousel/carousel.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fountain::carousel {
+
+Carousel::Carousel(std::vector<std::uint32_t> order) : order_(std::move(order)) {
+  if (order_.empty()) throw std::invalid_argument("Carousel: empty order");
+}
+
+Carousel Carousel::random_permutation(std::size_t n, util::Rng& rng) {
+  return Carousel(rng.permutation(n));
+}
+
+Carousel Carousel::sequential(std::size_t n) {
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  return Carousel(std::move(order));
+}
+
+}  // namespace fountain::carousel

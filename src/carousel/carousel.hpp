@@ -1,0 +1,35 @@
+// The data carousel (paper Sections 1, 4, 6): the server cycles forever
+// through a fixed transmission order over the n encoding packets. For Tornado
+// codes the order is a random permutation (as in the paper's simulations);
+// for interleaved codes it is the natural index order, which is already the
+// interleaved round-robin over blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace fountain::carousel {
+
+class Carousel {
+ public:
+  explicit Carousel(std::vector<std::uint32_t> order);
+
+  static Carousel random_permutation(std::size_t n, util::Rng& rng);
+  static Carousel sequential(std::size_t n);
+
+  std::size_t cycle_length() const { return order_.size(); }
+
+  /// The encoding index transmitted at (zero-based) slot t.
+  std::uint32_t packet_at(std::uint64_t t) const {
+    return order_[t % order_.size()];
+  }
+
+  const std::vector<std::uint32_t>& order() const { return order_; }
+
+ private:
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace fountain::carousel

@@ -1,0 +1,44 @@
+#include "carousel/reception.hpp"
+
+#include <stdexcept>
+
+namespace fountain::carousel {
+
+ReceptionResult simulate_reception(const Carousel& carousel,
+                                   fec::StructuralDecoder& decoder,
+                                   net::LossModel& loss,
+                                   std::uint64_t start_slot,
+                                   std::uint64_t max_slots,
+                                   std::vector<std::uint8_t>& seen) {
+  if (seen.size() < carousel.cycle_length()) {
+    throw std::invalid_argument("simulate_reception: scratch too small");
+  }
+  ReceptionResult result;
+  for (std::uint64_t t = 0; t < max_slots; ++t) {
+    ++result.slots_elapsed;
+    if (loss.lost()) continue;
+    const std::uint32_t index = carousel.packet_at(start_slot + t);
+    ++result.packets_received;
+    if (!seen[index]) {
+      seen[index] = 1;
+      ++result.distinct_received;
+    }
+    if (decoder.add_index(index)) {
+      result.completed = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ReceptionResult simulate_reception(const Carousel& carousel,
+                                   fec::StructuralDecoder& decoder,
+                                   net::LossModel& loss,
+                                   std::uint64_t start_slot,
+                                   std::uint64_t max_slots) {
+  std::vector<std::uint8_t> seen(carousel.cycle_length(), 0);
+  return simulate_reception(carousel, decoder, loss, start_slot, max_slots,
+                            seen);
+}
+
+}  // namespace fountain::carousel

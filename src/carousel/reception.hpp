@@ -1,0 +1,68 @@
+// Simulates one receiver listening to a carousel through a lossy channel
+// until the source is decodable — the primitive behind the paper's
+// reception-efficiency experiments (Figures 4, 5, 6 and the efficiency
+// definitions of Section 6/7.3).
+#pragma once
+
+#include <cstdint>
+
+#include "carousel/carousel.hpp"
+#include "fec/erasure_code.hpp"
+#include "net/loss.hpp"
+
+namespace fountain::carousel {
+
+struct ReceptionResult {
+  bool completed = false;
+  /// Packets accepted from the channel prior to reconstruction (includes
+  /// duplicates received on later carousel cycles).
+  std::uint64_t packets_received = 0;
+  /// Distinct encoding packets among them.
+  std::uint64_t distinct_received = 0;
+  /// Channel slots that elapsed (sent packets, received or not).
+  std::uint64_t slots_elapsed = 0;
+
+  /// Reception efficiency eta = k / packets_received.
+  double efficiency(std::size_t k) const {
+    return packets_received == 0
+               ? 0.0
+               : static_cast<double>(k) /
+                     static_cast<double>(packets_received);
+  }
+  /// Coding efficiency eta_c = k / distinct_received.
+  double coding_efficiency(std::size_t k) const {
+    return distinct_received == 0
+               ? 0.0
+               : static_cast<double>(k) /
+                     static_cast<double>(distinct_received);
+  }
+  /// Distinctness efficiency eta_d = distinct / total received.
+  double distinctness_efficiency() const {
+    return packets_received == 0
+               ? 0.0
+               : static_cast<double>(distinct_received) /
+                     static_cast<double>(packets_received);
+  }
+};
+
+/// Feeds the carousel stream, thinned by `loss`, into `decoder` until it
+/// completes (or `max_slots` elapse). The receiver joins at `start_slot` —
+/// receivers joining at different times see different phases of the cycle
+/// (the paper's asynchronous-access model). `seen` must be a zeroed scratch
+/// vector of at least cycle_length entries; it is used to count distinct
+/// packets and is left dirty (callers reusing it must re-zero).
+ReceptionResult simulate_reception(const Carousel& carousel,
+                                   fec::StructuralDecoder& decoder,
+                                   net::LossModel& loss,
+                                   std::uint64_t start_slot,
+                                   std::uint64_t max_slots,
+                                   std::vector<std::uint8_t>& seen);
+
+/// Convenience overload allocating its own scratch.
+ReceptionResult simulate_reception(const Carousel& carousel,
+                                   fec::StructuralDecoder& decoder,
+                                   net::LossModel& loss,
+                                   std::uint64_t start_slot,
+                                   std::uint64_t max_slots);
+
+}  // namespace fountain::carousel

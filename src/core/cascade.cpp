@@ -1,0 +1,144 @@
+#include "core/cascade.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fountain::core {
+
+TornadoParams TornadoParams::tornado_a(std::size_t k, std::size_t symbol_size,
+                                       std::uint64_t seed) {
+  TornadoParams p;
+  p.k = k;
+  p.symbol_size = symbol_size;
+  // Numerically optimised spike distribution (asymptotic peeling threshold
+  // 0.495 at rate 1/2 with right-regular checks; avg left degree 4.45).
+  p.left_spikes = {{2, 0.2454}, {3, 0.2150}, {8, 0.2757}, {40, 0.2639}};
+  p.girth_repair = 12;  // applied on levels large enough to benefit
+  p.stretch = 2.0;
+  p.seed = seed;
+  return p;
+}
+
+TornadoParams TornadoParams::tornado_b(std::size_t k, std::size_t symbol_size,
+                                       std::uint64_t seed) {
+  TornadoParams p;
+  p.k = k;
+  p.symbol_size = symbol_size;
+  // Same optimised family as A with the tail spike pushed out and deeper
+  // cycle repair: lower reception overhead with a thinner tail, at the cost
+  // of more edges (slower decode) and costlier construction — the paper's
+  // A/B trade.
+  p.left_spikes = {{2, 0.2454}, {3, 0.2150}, {6, 0.0500}, {8, 0.2257},
+                   {48, 0.2639}};
+  p.girth_repair = 12;
+  p.stretch = 2.0;
+  p.seed = seed;
+  return p;
+}
+
+DegreeDistribution TornadoParams::left_distribution() const {
+  if (left_spikes.empty()) return DegreeDistribution::heavy_tail(heavy_tail_d);
+  return DegreeDistribution(left_spikes);
+}
+
+void TornadoParams::validate() const {
+  if (k == 0) throw std::invalid_argument("TornadoParams: k must be > 0");
+  if (symbol_size == 0 || symbol_size % 2 != 0) {
+    throw std::invalid_argument(
+        "TornadoParams: symbol_size must be positive and even");
+  }
+  if (heavy_tail_d < 1) {
+    throw std::invalid_argument("TornadoParams: heavy_tail_d must be >= 1");
+  }
+  if (stretch <= 1.0) {
+    throw std::invalid_argument("TornadoParams: stretch must exceed 1");
+  }
+  if (min_tail < 2) {
+    throw std::invalid_argument("TornadoParams: min_tail must be >= 2");
+  }
+}
+
+Cascade::Cascade(const TornadoParams& params) : params_(params) {
+  params_.validate();
+  const std::size_t k = params_.k;
+  const auto n = static_cast<std::size_t>(
+      std::llround(params_.stretch * static_cast<double>(k)));
+
+  // Level sizes: shrink by beta = (c-1)/c until the tail threshold, so that
+  // the geometric sum of check levels plus an RS tail of roughly the last
+  // level's size lands at n total.
+  const double beta = (params_.stretch - 1.0) / params_.stretch;
+  // Tail threshold: stop the cascade while levels are still large enough to
+  // concentrate (peeling on sub-500-node graphs is dominated by variance,
+  // not by the asymptotic threshold), but keep the RS tail <= 1024 so its
+  // quadratic decode cost stays negligible next to the XOR passes.
+  const std::size_t threshold =
+      std::max(params_.min_tail, std::min<std::size_t>(k / 8, 1024));
+  level_size_.push_back(k);
+  // Guard: the cascade plus at least one parity symbol must fit in n.
+  std::size_t total = k;
+  while (level_size_.back() > threshold) {
+    const auto next = static_cast<std::size_t>(std::ceil(
+        beta * static_cast<double>(level_size_.back())));
+    if (next < 2 || total + next + 1 > n) break;
+    level_size_.push_back(next);
+    total += next;
+  }
+
+  level_offset_.resize(level_size_.size());
+  std::size_t off = 0;
+  for (std::size_t j = 0; j < level_size_.size(); ++j) {
+    level_offset_[j] = off;
+    off += level_size_[j];
+  }
+  node_count_ = off;
+  if (n <= node_count_) {
+    throw std::invalid_argument("Cascade: stretch leaves no room for RS tail");
+  }
+  parity_count_ = n - node_count_;
+
+  const std::size_t tail_k = level_size_.back();
+  if (tail_k + parity_count_ > gf::GF65536::kOrder) {
+    throw std::invalid_argument("Cascade: RS tail exceeds GF(2^16)");
+  }
+  tail_ = std::make_unique<TailCodec>(tail_k, parity_count_);
+
+  const DegreeDistribution primary = params_.left_distribution();
+  util::Rng rng(params_.seed);
+  for (std::size_t j = 0; j + 1 < level_size_.size(); ++j) {
+    const std::size_t left = level_size_[j];
+    // High-degree spikes need enough left nodes to concentrate; small levels
+    // fall back to a low-degree heavy tail sized to the level. Deep girth
+    // repair only pays off on the sparse degree-2 subgraphs of the optimised
+    // spikes, so fallback graphs keep the default depth.
+    const bool primary_fits = left >= 16 * primary.max_degree();
+    const DegreeDistribution dist =
+        primary_fits ? primary
+                     : DegreeDistribution::heavy_tail(static_cast<unsigned>(
+                           std::clamp<std::size_t>(left / 32, 2, 8)));
+    // Deep cycle repair is only productive when the degree-2 subgraph is
+    // large enough to re-randomise; small levels are left at depth 8.
+    unsigned girth = primary_fits ? params_.girth_repair
+                                  : std::min(params_.girth_repair, 8u);
+    if (left < 4096) girth = std::min(girth, 8u);
+    graphs_.push_back(std::make_unique<BipartiteGraph>(BipartiteGraph::random(
+        left, level_size_[j + 1], dist, rng, params_.check_policy, girth)));
+  }
+}
+
+std::size_t Cascade::level_of(std::size_t node) const {
+  if (node >= node_count_) throw std::out_of_range("Cascade: node index");
+  // Levels are few (log k); linear scan is fine and cache-friendly.
+  std::size_t j = 0;
+  while (j + 1 < level_offset_.size() && node >= level_offset_[j + 1]) ++j;
+  return j;
+}
+
+std::size_t Cascade::total_edges() const {
+  std::size_t edges = 0;
+  for (const auto& g : graphs_) edges += g->edge_count();
+  return edges;
+}
+
+}  // namespace fountain::core

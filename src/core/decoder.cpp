@@ -1,0 +1,316 @@
+#include "core/decoder.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fountain::core {
+
+namespace {
+// Work items: cascade node indices. Checks needing (re-)evaluation are kept
+// on a separate stack so the whole peeling process is iterative — no
+// recursion, no stack-depth hazards on long recovery chains.
+}
+
+TornadoDataDecoder::TornadoDataDecoder(const Cascade& cascade)
+    : cascade_(cascade),
+      source_(cascade.source_count(), cascade.symbol_size()),
+      nodes_(cascade.node_count(), cascade.symbol_size()),
+      residual_(cascade.node_count() - cascade.source_count(),
+                cascade.symbol_size()),
+      parity_data_(cascade.parity_count(), cascade.symbol_size()),
+      known_(cascade.node_count(), 0),
+      unknown_left_(cascade.node_count() - cascade.source_count(), 0),
+      parity_seen_(cascade.parity_count(), 0) {
+  const std::size_t k = cascade_.source_count();
+  for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
+    const BipartiteGraph& g = cascade_.graph(j);
+    const std::size_t right_off = cascade_.level_offset(j + 1);
+    for (std::size_t r = 0; r < g.right_count(); ++r) {
+      unknown_left_[right_off + r - k] =
+          static_cast<std::uint32_t>(g.check_neighbors(r).size());
+    }
+  }
+  // A check with no neighbours is the XOR of nothing: its value is known (all
+  // zero) before any packet arrives.
+  util::SymbolMatrix zero(1, cascade_.symbol_size());
+  for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
+    const BipartiteGraph& g = cascade_.graph(j);
+    const std::size_t right_off = cascade_.level_offset(j + 1);
+    for (std::size_t r = 0; r < g.right_count(); ++r) {
+      if (g.check_neighbors(r).empty()) {
+        make_known(right_off + r, zero.row(0));
+      }
+    }
+  }
+  process();
+}
+
+bool TornadoDataDecoder::add_symbol(std::uint32_t index,
+                                    util::ConstByteSpan data) {
+  if (complete()) return true;
+  if (index >= cascade_.encoded_count()) {
+    throw std::out_of_range("TornadoDataDecoder: index");
+  }
+  if (data.size() != cascade_.symbol_size()) {
+    throw std::invalid_argument("TornadoDataDecoder: payload size");
+  }
+  if (index < cascade_.node_count()) {
+    if (!known_[index]) {
+      ++distinct_;
+      make_known(index, data);
+      process();
+    }
+  } else {
+    const std::uint32_t p =
+        index - static_cast<std::uint32_t>(cascade_.node_count());
+    if (!parity_seen_[p]) {
+      ++distinct_;
+      parity_seen_[p] = 1;
+      std::memcpy(parity_data_.row(p).data(), data.data(), data.size());
+      ++parity_received_;
+      process();
+    }
+  }
+  return complete();
+}
+
+void TornadoDataDecoder::make_known(std::size_t node,
+                                    util::ConstByteSpan data) {
+  known_[node] = 1;
+  std::memcpy(nodes_.row(node).data(), data.data(), data.size());
+  const std::size_t k = cascade_.source_count();
+  const std::size_t level = cascade_.level_of(node);
+  if (node < k) {
+    std::memcpy(source_.row(node).data(), nodes_.row(node).data(),
+                data.size());
+    ++known_source_;
+  }
+  if (level >= 1) {
+    // Fold the check's own value into its residual now so that the invariant
+    // "known check => residual includes its value" always holds.
+    util::xor_into(residual_.row(node - k), nodes_.row(node));
+    dirty_checks_.push_back(static_cast<std::uint32_t>(node));
+  }
+  if (level + 1 == cascade_.level_count()) ++known_tail_;
+  pending_.push_back(static_cast<std::uint32_t>(node));
+}
+
+void TornadoDataDecoder::trigger(std::size_t g) {
+  const std::size_t k = cascade_.source_count();
+  const std::size_t slot = g - k;
+  if (known_[g]) {
+    if (unknown_left_[slot] == 1) {
+      const std::size_t level = cascade_.level_of(g);
+      const BipartiteGraph& graph = cascade_.graph(level - 1);
+      const std::size_t left_off = cascade_.level_offset(level - 1);
+      const std::size_t r = g - cascade_.level_offset(level);
+      for (const std::uint32_t l : graph.check_neighbors(r)) {
+        if (!known_[left_off + l]) {
+          make_known(left_off + l, residual_.row(slot));
+          return;
+        }
+      }
+    }
+  } else if (unknown_left_[slot] == 0) {
+    make_known(g, residual_.row(slot));
+  }
+}
+
+void TornadoDataDecoder::process() {
+  const std::size_t k = cascade_.source_count();
+  while (!complete()) {
+    if (!dirty_checks_.empty()) {
+      const std::uint32_t g = dirty_checks_.back();
+      dirty_checks_.pop_back();
+      trigger(g);
+      continue;
+    }
+    if (!pending_.empty()) {
+      const std::uint32_t u = pending_.back();
+      pending_.pop_back();
+      const std::size_t level = cascade_.level_of(u);
+      if (level < cascade_.graph_count()) {
+        const BipartiteGraph& graph = cascade_.graph(level);
+        const std::size_t right_off = cascade_.level_offset(level + 1);
+        const auto value = nodes_.row(u);
+        for (const std::uint32_t c :
+             graph.left_checks(u - cascade_.level_offset(level))) {
+          const std::size_t g = right_off + c;
+          util::xor_into(residual_.row(g - k), value);
+          --unknown_left_[g - k];
+          dirty_checks_.push_back(static_cast<std::uint32_t>(g));
+        }
+      }
+      continue;
+    }
+    if (!tail_done_ &&
+        cascade_.tail_size() - known_tail_ <= parity_received_) {
+      try_tail();
+      continue;
+    }
+    break;
+  }
+}
+
+void TornadoDataDecoder::try_tail() {
+  tail_done_ = true;
+  const std::size_t tail_k = cascade_.tail_size();
+  const std::size_t tail_off =
+      cascade_.level_offset(cascade_.level_count() - 1);
+  if (known_tail_ == tail_k) return;
+  const std::size_t bytes = cascade_.symbol_size();
+
+  util::SymbolMatrix tail(tail_k, bytes);
+  std::vector<bool> have(tail_k, false);
+  for (std::size_t i = 0; i < tail_k; ++i) {
+    if (known_[tail_off + i]) {
+      std::memcpy(tail.row(i).data(), nodes_.row(tail_off + i).data(), bytes);
+      have[i] = true;
+    }
+  }
+  std::vector<std::pair<std::uint32_t, util::ConstByteSpan>> parity;
+  parity.reserve(parity_received_);
+  for (std::uint32_t p = 0; p < cascade_.parity_count(); ++p) {
+    if (parity_seen_[p]) parity.emplace_back(p, parity_data_.row(p));
+  }
+  cascade_.tail().decode(tail, have, parity);
+  for (std::size_t i = 0; i < tail_k; ++i) {
+    if (!have[i]) make_known(tail_off + i, tail.row(i));
+  }
+}
+
+TornadoStructuralDecoder::TornadoStructuralDecoder(const Cascade& cascade)
+    : cascade_(cascade),
+      known_(cascade.node_count(), 0),
+      unknown_left_(cascade.node_count() - cascade.source_count(), 0),
+      initial_unknown_(cascade.node_count() - cascade.source_count(), 0),
+      parity_seen_(cascade.parity_count(), 0) {
+  const std::size_t k = cascade_.source_count();
+  for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
+    const BipartiteGraph& g = cascade_.graph(j);
+    const std::size_t right_off = cascade_.level_offset(j + 1);
+    for (std::size_t r = 0; r < g.right_count(); ++r) {
+      initial_unknown_[right_off + r - k] =
+          static_cast<std::uint32_t>(g.check_neighbors(r).size());
+    }
+  }
+  reset();
+}
+
+void TornadoStructuralDecoder::reset() {
+  std::fill(known_.begin(), known_.end(), 0);
+  unknown_left_ = initial_unknown_;
+  std::fill(parity_seen_.begin(), parity_seen_.end(), 0);
+  pending_.clear();
+  dirty_checks_.clear();
+  known_source_ = 0;
+  known_tail_ = 0;
+  parity_received_ = 0;
+  tail_done_ = false;
+  // Degree-zero checks are known a priori (XOR of nothing).
+  const std::size_t k = cascade_.source_count();
+  for (std::size_t g = k; g < cascade_.node_count(); ++g) {
+    if (initial_unknown_[g - k] == 0) make_known(g);
+  }
+  process();
+}
+
+bool TornadoStructuralDecoder::add_index(std::uint32_t index) {
+  if (complete()) return true;
+  if (index >= cascade_.encoded_count()) {
+    throw std::out_of_range("TornadoStructuralDecoder: index");
+  }
+  if (index < cascade_.node_count()) {
+    if (!known_[index]) {
+      make_known(index);
+      process();
+    }
+  } else {
+    const std::uint32_t p =
+        index - static_cast<std::uint32_t>(cascade_.node_count());
+    if (!parity_seen_[p]) {
+      parity_seen_[p] = 1;
+      ++parity_received_;
+      process();
+    }
+  }
+  return complete();
+}
+
+void TornadoStructuralDecoder::make_known(std::size_t node) {
+  known_[node] = 1;
+  const std::size_t level = cascade_.level_of(node);
+  if (node < cascade_.source_count()) ++known_source_;
+  if (level >= 1) {
+    dirty_checks_.push_back(static_cast<std::uint32_t>(node));
+  }
+  if (level + 1 == cascade_.level_count()) ++known_tail_;
+  pending_.push_back(static_cast<std::uint32_t>(node));
+}
+
+void TornadoStructuralDecoder::trigger(std::size_t g) {
+  const std::size_t k = cascade_.source_count();
+  const std::size_t slot = g - k;
+  if (known_[g]) {
+    if (unknown_left_[slot] == 1) {
+      const std::size_t level = cascade_.level_of(g);
+      const BipartiteGraph& graph = cascade_.graph(level - 1);
+      const std::size_t left_off = cascade_.level_offset(level - 1);
+      const std::size_t r = g - cascade_.level_offset(level);
+      for (const std::uint32_t l : graph.check_neighbors(r)) {
+        if (!known_[left_off + l]) {
+          make_known(left_off + l);
+          return;
+        }
+      }
+    }
+  } else if (unknown_left_[slot] == 0) {
+    make_known(g);
+  }
+}
+
+void TornadoStructuralDecoder::process() {
+  const std::size_t k = cascade_.source_count();
+  while (!complete()) {
+    if (!dirty_checks_.empty()) {
+      const std::uint32_t g = dirty_checks_.back();
+      dirty_checks_.pop_back();
+      trigger(g);
+      continue;
+    }
+    if (!pending_.empty()) {
+      const std::uint32_t u = pending_.back();
+      pending_.pop_back();
+      const std::size_t level = cascade_.level_of(u);
+      if (level < cascade_.graph_count()) {
+        const BipartiteGraph& graph = cascade_.graph(level);
+        const std::size_t right_off = cascade_.level_offset(level + 1);
+        for (const std::uint32_t c :
+             graph.left_checks(u - cascade_.level_offset(level))) {
+          const std::size_t g = right_off + c;
+          --unknown_left_[g - k];
+          dirty_checks_.push_back(static_cast<std::uint32_t>(g));
+        }
+      }
+      continue;
+    }
+    if (!tail_done_ &&
+        cascade_.tail_size() - known_tail_ <= parity_received_) {
+      try_tail();
+      continue;
+    }
+    break;
+  }
+}
+
+void TornadoStructuralDecoder::try_tail() {
+  tail_done_ = true;
+  const std::size_t tail_k = cascade_.tail_size();
+  const std::size_t tail_off =
+      cascade_.level_offset(cascade_.level_count() - 1);
+  for (std::size_t i = 0; i < tail_k; ++i) {
+    if (!known_[tail_off + i]) make_known(tail_off + i);
+  }
+}
+
+}  // namespace fountain::core

@@ -1,0 +1,95 @@
+// Tornado decoders. Both run the same bidirectional peeling process:
+//
+//  rule (a): a check node whose value is known and which has exactly one
+//            unknown left neighbour recovers that neighbour
+//            (value = check XOR known-neighbour-sum);
+//  rule (b): a check node all of whose left neighbours are known recovers
+//            its own value (it is itself a transmitted packet — and a left
+//            node of the next cascade level);
+//  rule (c): once the number of missing last-level packets is at most the
+//            number of received RS parity packets, the Reed-Solomon tail
+//            recovers the entire last level.
+//
+// TornadoDataDecoder carries real payloads (the paper's client); it maintains
+// one residual buffer per check node, so each graph edge costs exactly one
+// P-byte XOR over the whole decode — the (k+l) ln(1/eps) P bound of Table 1.
+// TornadoStructuralDecoder runs the identical process on indices alone and is
+// what the receiver-population simulations use; decodability depends only on
+// which indices arrived, so the two agree by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cascade.hpp"
+#include "fec/erasure_code.hpp"
+#include "util/symbols.hpp"
+
+namespace fountain::core {
+
+class TornadoDataDecoder final : public fec::IncrementalDecoder {
+ public:
+  explicit TornadoDataDecoder(const Cascade& cascade);
+
+  bool add_symbol(std::uint32_t index, util::ConstByteSpan data) override;
+  bool complete() const override {
+    return known_source_ == cascade_.source_count();
+  }
+  const util::SymbolMatrix& source() const override { return source_; }
+
+  /// Distinct encoding symbols that have been fed in so far.
+  std::size_t distinct_received() const { return distinct_; }
+
+ private:
+  void make_known(std::size_t node, util::ConstByteSpan data);
+  void process();
+  void trigger(std::size_t check_node);
+  void try_tail();
+
+  const Cascade& cascade_;
+  util::SymbolMatrix source_;    // level 0, mirrored for the caller
+  util::SymbolMatrix nodes_;     // all cascade node values
+  util::SymbolMatrix residual_;  // per check node (levels >= 1)
+  util::SymbolMatrix parity_data_;
+  std::vector<std::uint8_t> known_;          // per cascade node
+  std::vector<std::uint32_t> unknown_left_;  // per check node
+  std::vector<std::uint8_t> parity_seen_;
+  std::vector<std::uint32_t> pending_;       // newly-known nodes to propagate
+  std::vector<std::uint32_t> dirty_checks_;  // checks needing re-evaluation
+  std::size_t known_source_ = 0;
+  std::size_t known_tail_ = 0;
+  std::size_t parity_received_ = 0;
+  std::size_t distinct_ = 0;
+  bool tail_done_ = false;
+};
+
+class TornadoStructuralDecoder final : public fec::StructuralDecoder {
+ public:
+  explicit TornadoStructuralDecoder(const Cascade& cascade);
+
+  bool add_index(std::uint32_t index) override;
+  bool complete() const override {
+    return known_source_ == cascade_.source_count();
+  }
+  void reset() override;
+
+ private:
+  void make_known(std::size_t node);
+  void process();
+  void trigger(std::size_t check_node);
+  void try_tail();
+
+  const Cascade& cascade_;
+  std::vector<std::uint8_t> known_;
+  std::vector<std::uint32_t> unknown_left_;
+  std::vector<std::uint32_t> initial_unknown_;
+  std::vector<std::uint8_t> parity_seen_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<std::uint32_t> dirty_checks_;
+  std::size_t known_source_ = 0;
+  std::size_t known_tail_ = 0;
+  std::size_t parity_received_ = 0;
+  bool tail_done_ = false;
+};
+
+}  // namespace fountain::core

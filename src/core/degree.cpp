@@ -1,0 +1,91 @@
+#include "core/degree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fountain::core {
+
+DegreeDistribution::DegreeDistribution(
+    std::vector<std::pair<unsigned, double>> edge_weights) {
+  if (edge_weights.empty()) {
+    throw std::invalid_argument("DegreeDistribution: empty");
+  }
+  std::sort(edge_weights.begin(), edge_weights.end());
+  double total = 0.0;
+  for (const auto& [degree, weight] : edge_weights) {
+    if (degree < 2) {
+      throw std::invalid_argument("DegreeDistribution: degrees must be >= 2");
+    }
+    if (weight < 0.0) {
+      throw std::invalid_argument("DegreeDistribution: negative weight");
+    }
+    if (!degrees_.empty() && degrees_.back() == degree) {
+      throw std::invalid_argument("DegreeDistribution: duplicate degree");
+    }
+    degrees_.push_back(degree);
+    edge_fraction_.push_back(weight);
+    total += weight;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("DegreeDistribution: zero total weight");
+  }
+  double z = 0.0;  // sum of lambda_i / i
+  for (std::size_t idx = 0; idx < degrees_.size(); ++idx) {
+    edge_fraction_[idx] /= total;
+    z += edge_fraction_[idx] / static_cast<double>(degrees_[idx]);
+  }
+  average_node_degree_ = 1.0 / z;
+
+  node_fraction_.resize(degrees_.size());
+  node_cdf_.resize(degrees_.size());
+  double acc = 0.0;
+  for (std::size_t idx = 0; idx < degrees_.size(); ++idx) {
+    node_fraction_[idx] =
+        (edge_fraction_[idx] / static_cast<double>(degrees_[idx])) / z;
+    acc += node_fraction_[idx];
+    node_cdf_[idx] = acc;
+  }
+  node_cdf_.back() = 1.0;  // guard against rounding
+}
+
+DegreeDistribution DegreeDistribution::heavy_tail(unsigned d) {
+  if (d < 1) throw std::invalid_argument("heavy_tail: parameter must be >= 1");
+  double harmonic = 0.0;
+  for (unsigned j = 1; j <= d; ++j) harmonic += 1.0 / static_cast<double>(j);
+  std::vector<std::pair<unsigned, double>> weights;
+  weights.reserve(d);
+  for (unsigned i = 2; i <= d + 1; ++i) {
+    weights.emplace_back(i, 1.0 / (harmonic * static_cast<double>(i - 1)));
+  }
+  return DegreeDistribution(std::move(weights));
+}
+
+double DegreeDistribution::edge_fraction(unsigned degree) const {
+  const auto it = std::lower_bound(degrees_.begin(), degrees_.end(), degree);
+  if (it == degrees_.end() || *it != degree) return 0.0;
+  return edge_fraction_[static_cast<std::size_t>(it - degrees_.begin())];
+}
+
+double DegreeDistribution::node_fraction(unsigned degree) const {
+  const auto it = std::lower_bound(degrees_.begin(), degrees_.end(), degree);
+  if (it == degrees_.end() || *it != degree) return 0.0;
+  return node_fraction_[static_cast<std::size_t>(it - degrees_.begin())];
+}
+
+unsigned DegreeDistribution::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(node_cdf_.begin(), node_cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - node_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(degrees_.size()) - 1));
+  return degrees_[idx];
+}
+
+std::vector<unsigned> DegreeDistribution::sample_sequence(
+    std::size_t nodes, util::Rng& rng) const {
+  std::vector<unsigned> degrees(nodes);
+  for (auto& deg : degrees) deg = sample(rng);
+  return degrees;
+}
+
+}  // namespace fountain::core

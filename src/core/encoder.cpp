@@ -1,0 +1,47 @@
+#include "core/encoder.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fountain::core {
+
+void encode_cascade(const Cascade& cascade, const util::SymbolMatrix& source,
+                    util::SymbolMatrix& encoding) {
+  const std::size_t k = cascade.source_count();
+  const std::size_t bytes = cascade.symbol_size();
+  if (source.rows() != k || source.symbol_size() != bytes ||
+      encoding.rows() != cascade.encoded_count() ||
+      encoding.symbol_size() != bytes) {
+    throw std::invalid_argument("encode_cascade: shape mismatch");
+  }
+
+  // Systematic prefix: level 0 is the source data itself.
+  std::memcpy(encoding.data(), source.data(), source.size_bytes());
+
+  // Each check packet is the XOR of its left neighbours in the level graph.
+  for (std::size_t j = 0; j < cascade.graph_count(); ++j) {
+    const BipartiteGraph& g = cascade.graph(j);
+    const std::size_t left_off = cascade.level_offset(j);
+    const std::size_t right_off = cascade.level_offset(j + 1);
+    for (std::size_t r = 0; r < g.right_count(); ++r) {
+      auto out = encoding.row(right_off + r);
+      std::fill(out.begin(), out.end(), 0);
+      for (const std::uint32_t l : g.check_neighbors(r)) {
+        util::xor_into(out, encoding.row(left_off + l));
+      }
+    }
+  }
+
+  // RS tail over the last level.
+  const std::size_t tail_k = cascade.tail_size();
+  const std::size_t tail_off = cascade.level_offset(cascade.level_count() - 1);
+  util::SymbolMatrix tail_src(tail_k, bytes);
+  std::memcpy(tail_src.data(), encoding.data() + tail_off * bytes,
+              tail_src.size_bytes());
+  util::SymbolMatrix tail_parity(cascade.parity_count(), bytes);
+  cascade.tail().encode(tail_src, tail_parity);
+  std::memcpy(encoding.data() + cascade.node_count() * bytes,
+              tail_parity.data(), tail_parity.size_bytes());
+}
+
+}  // namespace fountain::core

@@ -1,0 +1,16 @@
+// Tornado encoding: one linear pass of XORs down the cascade plus the RS
+// tail — the (k + l) * ln(1/eps) * P running time of the paper's Table 1.
+#pragma once
+
+#include "core/cascade.hpp"
+#include "util/symbols.hpp"
+
+namespace fountain::core {
+
+/// Fills `encoding` (cascade.encoded_count() rows) from `source`
+/// (cascade.source_count() rows). The encoding is systematic: rows [0, k)
+/// are the source packets.
+void encode_cascade(const Cascade& cascade, const util::SymbolMatrix& source,
+                    util::SymbolMatrix& encoding);
+
+}  // namespace fountain::core

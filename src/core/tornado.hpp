@@ -1,0 +1,60 @@
+// Public facade: a Tornado code as an ErasureCode. This is the paper's
+// primary contribution — an erasure code whose encode and decode costs are
+// linear in the encoding length (XORs only, plus a small RS tail), at the
+// price of a small reception overhead eps: (1 + eps) k distinct packets are
+// needed to reconstruct instead of exactly k.
+#pragma once
+
+#include <memory>
+
+#include "core/cascade.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "fec/erasure_code.hpp"
+
+namespace fountain::core {
+
+class TornadoCode final : public fec::ErasureCode {
+ public:
+  explicit TornadoCode(const TornadoParams& params)
+      : cascade_(std::make_unique<Cascade>(params)) {}
+
+  /// Convenience constructors for the paper's two code variants.
+  static TornadoCode variant_a(std::size_t k, std::size_t symbol_size,
+                               std::uint64_t seed = 1) {
+    return TornadoCode(TornadoParams::tornado_a(k, symbol_size, seed));
+  }
+  static TornadoCode variant_b(std::size_t k, std::size_t symbol_size,
+                               std::uint64_t seed = 1) {
+    return TornadoCode(TornadoParams::tornado_b(k, symbol_size, seed));
+  }
+
+  const Cascade& cascade() const { return *cascade_; }
+
+  std::size_t source_count() const override {
+    return cascade_->source_count();
+  }
+  std::size_t encoded_count() const override {
+    return cascade_->encoded_count();
+  }
+  std::size_t symbol_size() const override { return cascade_->symbol_size(); }
+
+  void encode(const util::SymbolMatrix& source,
+              util::SymbolMatrix& encoding) const override {
+    encode_cascade(*cascade_, source, encoding);
+  }
+
+  std::unique_ptr<fec::IncrementalDecoder> make_decoder() const override {
+    return std::make_unique<TornadoDataDecoder>(*cascade_);
+  }
+
+  std::unique_ptr<fec::StructuralDecoder> make_structural_decoder()
+      const override {
+    return std::make_unique<TornadoStructuralDecoder>(*cascade_);
+  }
+
+ private:
+  std::unique_ptr<Cascade> cascade_;
+};
+
+}  // namespace fountain::core

@@ -1,0 +1,16 @@
+#include "fec/erasure_code.hpp"
+
+namespace fountain::fec {
+
+bool ErasureCode::decode(const std::vector<ReceivedSymbol>& received,
+                         util::SymbolMatrix& out) const {
+  auto decoder = make_decoder();
+  for (const auto& symbol : received) {
+    if (decoder->add_symbol(symbol.index, symbol.data)) break;
+  }
+  if (!decoder->complete()) return false;
+  out = decoder->source();
+  return true;
+}
+
+}  // namespace fountain::fec

@@ -1,0 +1,83 @@
+// The common abstraction every code in this library implements: a block
+// erasure code that stretches k source symbols into n encoding symbols
+// (stretch factor c = n/k, the paper uses c = 2 throughout) and reconstructs
+// the source from a sufficient subset of them.
+//
+// Two decoder views are provided:
+//  * IncrementalDecoder — consumes real payloads one packet at a time and
+//    reports when the source is fully reconstructed (the paper's client-side
+//    "incremental" mode, and the workhorse of the timing benches).
+//  * StructuralDecoder — consumes only packet *indices* and reports when the
+//    source *would be* decodable. Decodability of every code here depends
+//    only on which indices arrived, so the large receiver-population
+//    simulations (Figures 4-6) can run thousands of receivers without
+//    touching payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/symbols.hpp"
+
+namespace fountain::fec {
+
+struct ReceivedSymbol {
+  std::uint32_t index;
+  util::ConstByteSpan data;
+};
+
+/// Index-only decodability oracle.
+class StructuralDecoder {
+ public:
+  virtual ~StructuralDecoder() = default;
+  /// Feeds one encoding-symbol index. Returns true once the source is
+  /// decodable (and stays true). Duplicate indices are permitted and have no
+  /// effect.
+  virtual bool add_index(std::uint32_t index) = 0;
+  virtual bool complete() const = 0;
+  /// Resets to the empty state so the object can be reused across simulated
+  /// receivers without reallocation.
+  virtual void reset() = 0;
+};
+
+/// Payload-carrying decoder.
+class IncrementalDecoder {
+ public:
+  virtual ~IncrementalDecoder() = default;
+  /// Feeds one encoding symbol. Returns true once the source is fully
+  /// reconstructed. Duplicates are permitted.
+  virtual bool add_symbol(std::uint32_t index, util::ConstByteSpan data) = 0;
+  virtual bool complete() const = 0;
+  /// The reconstructed source; valid only when complete().
+  virtual const util::SymbolMatrix& source() const = 0;
+};
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  virtual std::size_t source_count() const = 0;   // k
+  virtual std::size_t encoded_count() const = 0;  // n
+  virtual std::size_t symbol_size() const = 0;    // P bytes
+
+  double stretch_factor() const {
+    return static_cast<double>(encoded_count()) /
+           static_cast<double>(source_count());
+  }
+
+  /// Produces the full n-symbol encoding of `source` into `encoding`
+  /// (encoding must have encoded_count() rows of symbol_size() bytes).
+  virtual void encode(const util::SymbolMatrix& source,
+                      util::SymbolMatrix& encoding) const = 0;
+
+  virtual std::unique_ptr<IncrementalDecoder> make_decoder() const = 0;
+  virtual std::unique_ptr<StructuralDecoder> make_structural_decoder()
+      const = 0;
+
+  /// One-shot convenience decode. Returns true on success and fills `out`.
+  bool decode(const std::vector<ReceivedSymbol>& received,
+              util::SymbolMatrix& out) const;
+};
+
+}  // namespace fountain::fec

@@ -1,0 +1,292 @@
+#include "fec/interleaved.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "gf/gf256.hpp"
+#include "gf/gf65536.hpp"
+#include "gf/rs_cauchy.hpp"
+
+namespace fountain::fec {
+
+/// Field-erasing wrapper around a per-block Cauchy codec; blocks with the
+/// same (k, l) share one instance.
+class InterleavedCode::BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+  virtual void encode(const util::SymbolMatrix& source,
+                      util::SymbolMatrix& parity) const = 0;
+  virtual void decode(
+      util::SymbolMatrix& source, const std::vector<bool>& have_source,
+      const std::vector<std::pair<std::uint32_t, util::ConstByteSpan>>& parity)
+      const = 0;
+};
+
+namespace {
+
+template <typename Field>
+class BlockCodecImpl final : public InterleavedCode::BlockCodec {
+ public:
+  BlockCodecImpl(std::size_t k, std::size_t parity) : codec_(k, parity) {}
+
+  void encode(const util::SymbolMatrix& source,
+              util::SymbolMatrix& parity) const override {
+    codec_.encode(source, parity);
+  }
+
+  void decode(util::SymbolMatrix& source, const std::vector<bool>& have_source,
+              const std::vector<std::pair<std::uint32_t, util::ConstByteSpan>>&
+                  parity) const override {
+    codec_.decode(source, have_source, parity);
+  }
+
+ private:
+  gf::CauchyCodec<Field> codec_;
+};
+
+std::unique_ptr<InterleavedCode::BlockCodec> make_block_codec(
+    std::size_t k, std::size_t parity) {
+  if (k + parity <= gf::GF256::kOrder) {
+    return std::make_unique<BlockCodecImpl<gf::GF256>>(k, parity);
+  }
+  return std::make_unique<BlockCodecImpl<gf::GF65536>>(k, parity);
+}
+
+}  // namespace
+
+InterleavedCode::InterleavedCode(std::size_t total_source, std::size_t blocks,
+                                 std::size_t symbol_size, double stretch)
+    : total_source_(total_source), symbol_size_(symbol_size) {
+  if (total_source == 0 || blocks == 0 || blocks > total_source) {
+    throw std::invalid_argument("InterleavedCode: bad block count");
+  }
+  if (stretch <= 1.0) {
+    throw std::invalid_argument("InterleavedCode: stretch must exceed 1");
+  }
+  const std::size_t q = total_source / blocks;
+  const std::size_t r = total_source % blocks;
+  std::size_t offset = 0;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> codec_slots;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t kb = q + (b < r ? 1 : 0);
+    const auto lb = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround((stretch - 1.0) *
+                                                 static_cast<double>(kb))));
+    block_source_.push_back(kb);
+    block_parity_.push_back(lb);
+    source_offset_.push_back(offset);
+    offset += kb;
+    total_encoded_ += kb + lb;
+    const auto key = std::make_pair(kb, lb);
+    auto it = codec_slots.find(key);
+    if (it == codec_slots.end()) {
+      codec_slots.emplace(key, codecs_.size());
+      codec_of_block_.push_back(codecs_.size());
+      codecs_.push_back(make_block_codec(kb, lb));
+    } else {
+      codec_of_block_.push_back(it->second);
+    }
+  }
+
+  // Interleaved transmission order: one packet from each still-live block per
+  // round, exactly the scheme in the paper's Section 6 definition.
+  index_map_.reserve(total_encoded_);
+  const std::size_t max_nb = *std::max_element(block_source_.begin(),
+                                               block_source_.end()) +
+                             *std::max_element(block_parity_.begin(),
+                                               block_parity_.end());
+  for (std::uint32_t t = 0; t < max_nb; ++t) {
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      if (t < block_source_[b] + block_parity_[b]) {
+        index_map_.push_back(Position{b, t});
+      }
+    }
+  }
+}
+
+InterleavedCode::~InterleavedCode() = default;
+
+InterleavedCode::Position InterleavedCode::position(
+    std::uint32_t encoded_index) const {
+  if (encoded_index >= index_map_.size()) {
+    throw std::out_of_range("InterleavedCode: encoded index");
+  }
+  return index_map_[encoded_index];
+}
+
+void InterleavedCode::encode(const util::SymbolMatrix& source,
+                             util::SymbolMatrix& encoding) const {
+  if (source.rows() != total_source_ || encoding.rows() != total_encoded_ ||
+      source.symbol_size() != symbol_size_ ||
+      encoding.symbol_size() != symbol_size_) {
+    throw std::invalid_argument("InterleavedCode: shape mismatch");
+  }
+  // Per-block encode into scratch, then scatter through the interleaving.
+  std::vector<util::SymbolMatrix> parities(block_count());
+  for (std::size_t b = 0; b < block_count(); ++b) {
+    util::SymbolMatrix block_src(block_source_[b], symbol_size_);
+    std::memcpy(block_src.data(),
+                source.data() + source_offset_[b] * symbol_size_,
+                block_src.size_bytes());
+    parities[b] = util::SymbolMatrix(block_parity_[b], symbol_size_);
+    codecs_[codec_of_block_[b]]->encode(block_src, parities[b]);
+  }
+  for (std::uint32_t e = 0; e < total_encoded_; ++e) {
+    const auto [b, pos] = index_map_[e];
+    const auto out = encoding.row(e);
+    if (pos < block_source_[b]) {
+      std::memcpy(out.data(),
+                  source.row(source_offset_[b] + pos).data(), symbol_size_);
+    } else {
+      std::memcpy(out.data(),
+                  parities[b].row(pos - block_source_[b]).data(),
+                  symbol_size_);
+    }
+  }
+}
+
+class InterleavedCode::Structural final : public StructuralDecoder {
+ public:
+  explicit Structural(const InterleavedCode& code)
+      : code_(code), seen_(code.encoded_count(), false),
+        block_distinct_(code.block_count(), 0) {}
+
+  bool add_index(std::uint32_t index) override {
+    if (index >= seen_.size()) {
+      throw std::out_of_range("InterleavedCode: index");
+    }
+    if (!seen_[index]) {
+      seen_[index] = true;
+      const auto [b, pos] = code_.index_map_[index];
+      (void)pos;
+      if (block_distinct_[b] < code_.block_source_[b]) {
+        if (++block_distinct_[b] == code_.block_source_[b]) ++blocks_done_;
+      } else {
+        ++block_distinct_[b];
+      }
+    }
+    return complete();
+  }
+
+  bool complete() const override {
+    return blocks_done_ == code_.block_count();
+  }
+
+  void reset() override {
+    std::fill(seen_.begin(), seen_.end(), false);
+    std::fill(block_distinct_.begin(), block_distinct_.end(), 0);
+    blocks_done_ = 0;
+  }
+
+ private:
+  const InterleavedCode& code_;
+  std::vector<bool> seen_;
+  std::vector<std::size_t> block_distinct_;
+  std::size_t blocks_done_ = 0;
+};
+
+class InterleavedCode::Decoder final : public IncrementalDecoder {
+ public:
+  explicit Decoder(const InterleavedCode& code)
+      : code_(code), source_(code.source_count(), code.symbol_size()) {
+    blocks_.reserve(code.block_count());
+    for (std::size_t b = 0; b < code.block_count(); ++b) {
+      blocks_.push_back(BlockState(code, b));
+    }
+  }
+
+  bool add_symbol(std::uint32_t index, util::ConstByteSpan data) override {
+    if (complete_) return true;
+    if (index >= code_.encoded_count()) {
+      throw std::out_of_range("InterleavedCode: index");
+    }
+    if (data.size() != code_.symbol_size()) {
+      throw std::invalid_argument("InterleavedCode: payload size");
+    }
+    const auto [b, pos] = code_.index_map_[index];
+    BlockState& block = blocks_[b];
+    if (block.done) return false;
+    const std::size_t kb = code_.block_source_[b];
+    if (pos < kb) {
+      if (!block.have_source[pos]) {
+        std::memcpy(source_.row(code_.source_offset_[b] + pos).data(),
+                    data.data(), data.size());
+        block.have_source[pos] = true;
+        ++block.distinct;
+      }
+    } else {
+      const std::uint32_t pidx = pos - static_cast<std::uint32_t>(kb);
+      if (!block.parity_seen[pidx] && block.parity_indices.size() < kb) {
+        block.parity_seen[pidx] = true;
+        std::memcpy(block.parity_store.row(block.parity_indices.size()).data(),
+                    data.data(), data.size());
+        block.parity_indices.push_back(pidx);
+        ++block.distinct;
+      }
+    }
+    if (!block.done && block.distinct >= kb) {
+      finish_block(b);
+      if (blocks_done_ == code_.block_count()) complete_ = true;
+    }
+    return complete_;
+  }
+
+  bool complete() const override { return complete_; }
+
+  const util::SymbolMatrix& source() const override { return source_; }
+
+ private:
+  struct BlockState {
+    BlockState(const InterleavedCode& code, std::size_t b)
+        : have_source(code.block_source_[b], false),
+          parity_store(code.block_source_[b], code.symbol_size()),
+          parity_seen(code.block_parity_[b], false) {}
+    std::vector<bool> have_source;
+    util::SymbolMatrix parity_store;
+    std::vector<bool> parity_seen;
+    std::vector<std::uint32_t> parity_indices;
+    std::size_t distinct = 0;
+    bool done = false;
+  };
+
+  void finish_block(std::size_t b) {
+    BlockState& block = blocks_[b];
+    const std::size_t kb = code_.block_source_[b];
+    // Pull this block's source rows into a dense scratch, decode, push back.
+    util::SymbolMatrix scratch(kb, code_.symbol_size());
+    std::memcpy(scratch.data(),
+                source_.data() + code_.source_offset_[b] * code_.symbol_size(),
+                scratch.size_bytes());
+    std::vector<std::pair<std::uint32_t, util::ConstByteSpan>> parity;
+    parity.reserve(block.parity_indices.size());
+    for (std::size_t i = 0; i < block.parity_indices.size(); ++i) {
+      parity.emplace_back(block.parity_indices[i], block.parity_store.row(i));
+    }
+    code_.codecs_[code_.codec_of_block_[b]]->decode(scratch, block.have_source,
+                                                    parity);
+    std::memcpy(source_.data() + code_.source_offset_[b] * code_.symbol_size(),
+                scratch.data(), scratch.size_bytes());
+    block.done = true;
+    ++blocks_done_;
+  }
+
+  const InterleavedCode& code_;
+  util::SymbolMatrix source_;
+  std::vector<BlockState> blocks_;
+  std::size_t blocks_done_ = 0;
+  bool complete_ = false;
+};
+
+std::unique_ptr<IncrementalDecoder> InterleavedCode::make_decoder() const {
+  return std::make_unique<Decoder>(*this);
+}
+
+std::unique_ptr<StructuralDecoder> InterleavedCode::make_structural_decoder()
+    const {
+  return std::make_unique<Structural>(*this);
+}
+
+}  // namespace fountain::fec

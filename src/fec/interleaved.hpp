@@ -1,0 +1,80 @@
+// The interleaved block-code baseline (Nonnenmacher/Biersack/Towsley, Rizzo/
+// Vicisano — the paper's Section 6 comparator). K source packets are split
+// into B blocks, each block is independently stretched with a Reed-Solomon
+// code, and the encoding is transmitted interleaved: one packet from each
+// block in turn. The receiver must complete *every* block, so reception
+// overhead suffers from the coupon-collector effect the paper illustrates in
+// Figure 3, which Tornado codes avoid by encoding over the whole file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fec/erasure_code.hpp"
+
+namespace fountain::fec {
+
+class InterleavedCode final : public ErasureCode {
+ public:
+  /// Splits `total_source` packets into `blocks` blocks (sizes differing by
+  /// at most one) and stretches each block by `stretch` (parity per block =
+  /// round((stretch-1) * k_b), at least 1). Encoding index order is the
+  /// interleaved transmission order: round t emits packet t of every block
+  /// that still has one.
+  InterleavedCode(std::size_t total_source, std::size_t blocks,
+                  std::size_t symbol_size, double stretch = 2.0);
+  ~InterleavedCode() override;
+
+  InterleavedCode(const InterleavedCode&) = delete;
+  InterleavedCode& operator=(const InterleavedCode&) = delete;
+
+  std::size_t source_count() const override { return total_source_; }
+  std::size_t encoded_count() const override { return total_encoded_; }
+  std::size_t symbol_size() const override { return symbol_size_; }
+
+  std::size_t block_count() const { return block_source_.size(); }
+  std::size_t block_source_count(std::size_t b) const {
+    return block_source_[b];
+  }
+  std::size_t block_encoded_count(std::size_t b) const {
+    return block_source_[b] + block_parity_[b];
+  }
+  /// First global source index owned by block b.
+  std::size_t block_source_offset(std::size_t b) const {
+    return source_offset_[b];
+  }
+
+  struct Position {
+    std::uint32_t block;
+    std::uint32_t pos;  // within the block's encoding; < k_b means source
+  };
+  Position position(std::uint32_t encoded_index) const;
+
+  void encode(const util::SymbolMatrix& source,
+              util::SymbolMatrix& encoding) const override;
+
+  std::unique_ptr<IncrementalDecoder> make_decoder() const override;
+  std::unique_ptr<StructuralDecoder> make_structural_decoder() const override;
+
+  /// Field-erasing per-block codec (implementation detail, public so the
+  /// out-of-line implementations can derive from it).
+  class BlockCodec;
+
+ private:
+  class Decoder;
+  class Structural;
+
+  std::size_t total_source_;
+  std::size_t total_encoded_ = 0;
+  std::size_t symbol_size_;
+  std::vector<std::size_t> block_source_;   // k_b
+  std::vector<std::size_t> block_parity_;   // l_b
+  std::vector<std::size_t> source_offset_;  // global source index of block b
+  std::vector<Position> index_map_;         // encoded index -> (block, pos)
+  // One codec per distinct (k_b, l_b); block -> codec slot.
+  std::vector<std::unique_ptr<BlockCodec>> codecs_;
+  std::vector<std::size_t> codec_of_block_;
+};
+
+}  // namespace fountain::fec

@@ -1,0 +1,173 @@
+// ErasureCode adapters for the Reed-Solomon codecs. Systematic layout:
+// encoding indices [0, k) are the source symbols verbatim, [k, n) are parity.
+// Being MDS codes, *any* k distinct encoding symbols reconstruct the source —
+// the "reception overhead 0" row of the paper's Table 1.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fec/erasure_code.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf65536.hpp"
+#include "gf/rs_cauchy.hpp"
+#include "gf/rs_vandermonde.hpp"
+
+namespace fountain::fec {
+
+/// Counts distinct indices; decodable exactly when k have arrived (MDS).
+class MdsStructuralDecoder final : public StructuralDecoder {
+ public:
+  MdsStructuralDecoder(std::size_t k, std::size_t n)
+      : k_(k), seen_(n, false) {}
+
+  bool add_index(std::uint32_t index) override {
+    if (index >= seen_.size()) throw std::out_of_range("MDS: index");
+    if (!seen_[index]) {
+      seen_[index] = true;
+      ++distinct_;
+    }
+    return complete();
+  }
+
+  bool complete() const override { return distinct_ >= k_; }
+
+  void reset() override {
+    std::fill(seen_.begin(), seen_.end(), false);
+    distinct_ = 0;
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t distinct_ = 0;
+  std::vector<bool> seen_;
+};
+
+template <typename Codec>
+class RsErasureCode final : public ErasureCode {
+ public:
+  RsErasureCode(std::size_t k, std::size_t parity, std::size_t symbol_size)
+      : codec_(k, parity), symbol_size_(symbol_size) {}
+
+  std::size_t source_count() const override { return codec_.source_count(); }
+  std::size_t encoded_count() const override {
+    return codec_.source_count() + codec_.parity_count();
+  }
+  std::size_t symbol_size() const override { return symbol_size_; }
+
+  const Codec& codec() const { return codec_; }
+
+  void encode(const util::SymbolMatrix& source,
+              util::SymbolMatrix& encoding) const override {
+    const std::size_t k = source_count();
+    const std::size_t n = encoded_count();
+    if (source.rows() != k || encoding.rows() != n ||
+        source.symbol_size() != symbol_size_ ||
+        encoding.symbol_size() != symbol_size_) {
+      throw std::invalid_argument("RsErasureCode: shape mismatch");
+    }
+    // Systematic prefix.
+    std::memcpy(encoding.data(), source.data(), source.size_bytes());
+    util::SymbolMatrix parity(codec_.parity_count(), symbol_size_);
+    codec_.encode(source, parity);
+    std::memcpy(encoding.data() + k * symbol_size_, parity.data(),
+                parity.size_bytes());
+  }
+
+  std::unique_ptr<IncrementalDecoder> make_decoder() const override {
+    return std::make_unique<Decoder>(*this);
+  }
+
+  std::unique_ptr<StructuralDecoder> make_structural_decoder() const override {
+    return std::make_unique<MdsStructuralDecoder>(source_count(),
+                                                  encoded_count());
+  }
+
+ private:
+  class Decoder final : public IncrementalDecoder {
+   public:
+    explicit Decoder(const RsErasureCode& code)
+        : code_(code),
+          source_(code.source_count(), code.symbol_size()),
+          have_source_(code.source_count(), false),
+          parity_store_(code.source_count(), code.symbol_size()),
+          parity_seen_(code.codec_.parity_count(), false) {}
+
+    bool add_symbol(std::uint32_t index, util::ConstByteSpan data) override {
+      if (complete_) return true;
+      const std::size_t k = code_.source_count();
+      if (index >= code_.encoded_count()) {
+        throw std::out_of_range("RsErasureCode: index");
+      }
+      if (data.size() != code_.symbol_size()) {
+        throw std::invalid_argument("RsErasureCode: payload size");
+      }
+      if (index < k) {
+        if (!have_source_[index]) {
+          std::memcpy(source_.row(index).data(), data.data(), data.size());
+          have_source_[index] = true;
+          ++distinct_;
+        }
+      } else {
+        const std::uint32_t pidx = index - static_cast<std::uint32_t>(k);
+        if (!parity_seen_[pidx]) {
+          parity_seen_[pidx] = true;
+          // We never need more parity symbols than there are source symbols.
+          if (parity_indices_.size() < k) {
+            std::memcpy(parity_store_.row(parity_indices_.size()).data(),
+                        data.data(), data.size());
+            parity_indices_.push_back(pidx);
+            ++distinct_;
+          }
+        }
+      }
+      if (distinct_ >= k) finish();
+      return complete_;
+    }
+
+    bool complete() const override { return complete_; }
+
+    const util::SymbolMatrix& source() const override { return source_; }
+
+   private:
+    void finish() {
+      std::vector<std::pair<std::uint32_t, util::ConstByteSpan>> parity;
+      parity.reserve(parity_indices_.size());
+      for (std::size_t i = 0; i < parity_indices_.size(); ++i) {
+        parity.emplace_back(parity_indices_[i], parity_store_.row(i));
+      }
+      code_.codec_.decode(source_, have_source_, parity);
+      complete_ = true;
+    }
+
+    const RsErasureCode& code_;
+    util::SymbolMatrix source_;
+    std::vector<bool> have_source_;
+    util::SymbolMatrix parity_store_;
+    std::vector<bool> parity_seen_;
+    std::vector<std::uint32_t> parity_indices_;
+    std::size_t distinct_ = 0;
+    bool complete_ = false;
+  };
+
+  Codec codec_;
+  std::size_t symbol_size_;
+};
+
+using VandermondeCode8 = RsErasureCode<gf::VandermondeCodec<gf::GF256>>;
+using VandermondeCode16 = RsErasureCode<gf::VandermondeCodec<gf::GF65536>>;
+using CauchyCode8 = RsErasureCode<gf::CauchyCodec<gf::GF256>>;
+using CauchyCode16 = RsErasureCode<gf::CauchyCodec<gf::GF65536>>;
+
+enum class RsKind { kVandermonde, kCauchy };
+
+/// Picks the smallest field that fits n = k + parity and returns the adapted
+/// code.
+std::unique_ptr<ErasureCode> make_reed_solomon(RsKind kind, std::size_t k,
+                                               std::size_t parity,
+                                               std::size_t symbol_size);
+
+}  // namespace fountain::fec

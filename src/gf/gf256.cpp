@@ -1,0 +1,75 @@
+#include "gf/gf256.hpp"
+
+#include <stdexcept>
+
+namespace fountain::gf {
+
+namespace {
+constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+}
+
+GF256::Tables::Tables() {
+  // exp/log via repeated multiplication by the generator alpha = 2.
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp[i] = static_cast<Element>(x);
+    log[x] = static_cast<std::uint16_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0xffff;  // sentinel: log of zero is undefined
+
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      mul[a][b] = (a == 0 || b == 0)
+                      ? 0
+                      : exp[log[a] + log[b]];
+    }
+  }
+  inverse[0] = 0;  // sentinel; GF256::inv throws on zero
+  for (unsigned a = 1; a < 256; ++a) {
+    inverse[a] = exp[255 - log[a]];
+  }
+}
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t;
+  return t;
+}
+
+GF256::Element GF256::inv(Element a) {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  return tables().inverse[a];
+}
+
+GF256::Element GF256::div(Element a, Element b) {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+unsigned GF256::log(Element a) {
+  if (a == 0) throw std::domain_error("GF256: log of zero");
+  return tables().log[a];
+}
+
+void GF256::fma_buffer(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t bytes, Element c) {
+  if (c == 0) return;
+  if (c == 1) {
+    util::xor_into(util::ByteSpan(dst, bytes), util::ConstByteSpan(src, bytes));
+    return;
+  }
+  const Element* row = tables().mul[c];
+  for (std::size_t i = 0; i < bytes; ++i) dst[i] ^= row[src[i]];
+}
+
+void GF256::scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c) {
+  if (c == 1) return;
+  const Element* row = tables().mul[c];
+  for (std::size_t i = 0; i < bytes; ++i) dst[i] = row[dst[i]];
+}
+
+}  // namespace fountain::gf

@@ -1,0 +1,49 @@
+// GF(2^8) arithmetic with the AES-friendly primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D). This is the field used by Rizzo's FEC
+// code and by the interleaved-block baselines (block sizes k = 20, 50 fit
+// comfortably in one byte of index space). A full 256x256 product table makes
+// the per-byte buffer kernel a single lookup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/symbols.hpp"
+
+namespace fountain::gf {
+
+class GF256 {
+ public:
+  using Element = std::uint8_t;
+  static constexpr unsigned kBits = 8;
+  static constexpr std::size_t kOrder = 256;
+  /// Symbols are byte streams; any length works.
+  static constexpr std::size_t kSymbolAlignment = 1;
+
+  static Element add(Element a, Element b) { return a ^ b; }
+  static Element sub(Element a, Element b) { return a ^ b; }
+  static Element mul(Element a, Element b) { return tables().mul[a][b]; }
+  static Element inv(Element a);
+  static Element div(Element a, Element b);
+  /// alpha^power where alpha = 0x02 is a generator.
+  static Element exp(unsigned power) { return tables().exp[power % 255]; }
+  static unsigned log(Element a);
+
+  /// dst ^= c * src over the whole buffer.
+  static void fma_buffer(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, Element c);
+  /// dst *= c over the whole buffer.
+  static void scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c);
+
+ private:
+  struct Tables {
+    Element exp[512];
+    std::uint16_t log[256];  // log[0] unused sentinel
+    Element mul[256][256];
+    Element inverse[256];
+    Tables();
+  };
+  static const Tables& tables();
+};
+
+}  // namespace fountain::gf

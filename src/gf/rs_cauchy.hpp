@@ -1,0 +1,179 @@
+// Systematic Cauchy Reed-Solomon erasure codec after Blomer, Kalfane,
+// Karpinski, Karp, Luby, Zuckerman, "An XOR-Based Erasure-Resilient Coding
+// Scheme" (ICSI TR-95-048) — the "Cauchy" column of the paper's Tables 2/3,
+// the per-block code of the interleaved baseline, and the tail code that
+// terminates the Tornado cascade.
+//
+// The generator is the Cauchy matrix C[i][j] = 1/(y_i + x_j). Its key
+// advantage over Vandermonde for decoding is that every square submatrix is
+// itself Cauchy and so can be inverted analytically in O(x^2) — no Gaussian
+// elimination.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "gf/matrix.hpp"
+#include "util/symbols.hpp"
+
+namespace fountain::gf {
+
+/// Analytic inverse of the square Cauchy matrix A[i][j] = 1/(xs[j] + ys[i])
+/// (characteristic-2 field; all points pairwise distinct, xs disjoint from
+/// ys). Returns B with B * A = I. O(m^2).
+template <typename Field>
+Matrix<Field> cauchy_inverse(const std::vector<typename Field::Element>& xs,
+                             const std::vector<typename Field::Element>& ys) {
+  using Element = typename Field::Element;
+  const std::size_t m = xs.size();
+  if (ys.size() != m || m == 0) {
+    throw std::invalid_argument("cauchy_inverse: bad dimensions");
+  }
+  // u[j] = prod_k (x_j + y_k); v[j] = prod_{k != j} (x_j + x_k)
+  // s[i] = prod_k (x_k + y_i); t[i] = prod_{k != i} (y_i + y_k)
+  std::vector<Element> u(m, Element{1});
+  std::vector<Element> v(m, Element{1});
+  std::vector<Element> s(m, Element{1});
+  std::vector<Element> t(m, Element{1});
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t kk = 0; kk < m; ++kk) {
+      u[j] = Field::mul(u[j], Field::add(xs[j], ys[kk]));
+      if (kk != j) v[j] = Field::mul(v[j], Field::add(xs[j], xs[kk]));
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < m; ++kk) {
+      s[i] = Field::mul(s[i], Field::add(xs[kk], ys[i]));
+      if (kk != i) t[i] = Field::mul(t[i], Field::add(ys[i], ys[kk]));
+    }
+  }
+  // B[j][i] = (u[j] * s[i]) / ((x_j + y_i) * v[j] * t[i])
+  // B's rows correspond to A's columns (the x points).
+  Matrix<Field> b(m, m);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const Element numerator = Field::mul(u[j], s[i]);
+      const Element denominator = Field::mul(
+          Field::add(xs[j], ys[i]), Field::mul(v[j], t[i]));
+      b.at(j, i) = Field::div(numerator, denominator);
+    }
+  }
+  return b;
+}
+
+template <typename Field>
+class CauchyCodec {
+ public:
+  using Element = typename Field::Element;
+
+  CauchyCodec(std::size_t k, std::size_t parity) : k_(k), parity_(parity) {
+    if (k == 0 || parity == 0) {
+      throw std::invalid_argument("CauchyCodec: k and parity must be > 0");
+    }
+    if (k + parity > Field::kOrder) {
+      throw std::invalid_argument("CauchyCodec: k + parity exceeds field size");
+    }
+    gen_ = Matrix<Field>(parity_, k_);
+    for (std::size_t i = 0; i < parity_; ++i) {
+      const auto y = static_cast<Element>(k_ + i);
+      for (std::size_t j = 0; j < k_; ++j) {
+        gen_.at(i, j) = Field::inv(Field::add(y, static_cast<Element>(j)));
+      }
+    }
+  }
+
+  std::size_t source_count() const { return k_; }
+  std::size_t parity_count() const { return parity_; }
+
+  Element coefficient(std::size_t parity_row, std::size_t source_col) const {
+    return gen_.at(parity_row, source_col);
+  }
+
+  void encode(const util::SymbolMatrix& source,
+              util::SymbolMatrix& parity_out) const {
+    if (source.rows() != k_ || parity_out.rows() != parity_ ||
+        source.symbol_size() != parity_out.symbol_size() ||
+        source.symbol_size() % Field::kSymbolAlignment != 0) {
+      throw std::invalid_argument("CauchyCodec: shape mismatch");
+    }
+    parity_out.fill_zero();
+    for (std::size_t j = 0; j < k_; ++j) {
+      const auto src = source.row(j);
+      for (std::size_t i = 0; i < parity_; ++i) {
+        Field::fma_buffer(parity_out.row(i).data(), src.data(), src.size(),
+                          gen_.at(i, j));
+      }
+    }
+  }
+
+  /// Encodes a single parity symbol (used by the Tornado cascade tail, where
+  /// a specific parity index is requested).
+  void encode_one(const util::SymbolMatrix& source, std::size_t parity_row,
+                  util::ByteSpan out) const {
+    std::fill(out.begin(), out.end(), 0);
+    for (std::size_t j = 0; j < k_; ++j) {
+      const auto src = source.row(j);
+      Field::fma_buffer(out.data(), src.data(), src.size(),
+                        gen_.at(parity_row, j));
+    }
+  }
+
+  /// Reconstructs missing source rows in place; see VandermondeCodec::decode
+  /// for the contract. Uses the analytic O(x^2) Cauchy submatrix inverse.
+  void decode(util::SymbolMatrix& source, const std::vector<bool>& have_source,
+              const std::vector<std::pair<std::uint32_t, util::ConstByteSpan>>&
+                  parity) const {
+    std::vector<std::uint32_t> missing;
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (!have_source[j]) missing.push_back(static_cast<std::uint32_t>(j));
+    }
+    if (missing.empty()) return;
+    const std::size_t x = missing.size();
+    if (parity.size() < x) {
+      throw std::invalid_argument("CauchyCodec: not enough parity");
+    }
+
+    const std::size_t bytes = source.symbol_size();
+    util::SymbolMatrix rhs(x, bytes);
+    std::vector<Element> xs(x);
+    std::vector<Element> ys(x);
+    for (std::size_t c = 0; c < x; ++c) {
+      xs[c] = static_cast<Element>(missing[c]);
+    }
+    for (std::size_t r = 0; r < x; ++r) {
+      const auto [pidx, pdata] = parity[r];
+      if (pidx >= parity_) throw std::out_of_range("CauchyCodec: parity index");
+      if (pdata.size() != bytes) {
+        throw std::invalid_argument("CauchyCodec: payload size");
+      }
+      ys[r] = static_cast<Element>(k_ + pidx);
+      util::xor_into(rhs.row(r), pdata);
+    }
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (!have_source[j]) continue;
+      const auto src = source.row(j);
+      for (std::size_t r = 0; r < x; ++r) {
+        Field::fma_buffer(rhs.row(r).data(), src.data(), bytes,
+                          gen_.at(parity[r].first, j));
+      }
+    }
+
+    const Matrix<Field> inv = cauchy_inverse<Field>(xs, ys);
+    for (std::size_t c = 0; c < x; ++c) {
+      auto dst = source.row(missing[c]);
+      std::fill(dst.begin(), dst.end(), 0);
+      for (std::size_t r = 0; r < x; ++r) {
+        Field::fma_buffer(dst.data(), rhs.row(r).data(), bytes, inv.at(c, r));
+      }
+    }
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t parity_;
+  Matrix<Field> gen_;
+};
+
+}  // namespace fountain::gf

@@ -1,0 +1,63 @@
+#include "net/packet_header.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fountain::net {
+
+namespace {
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+}  // namespace
+
+void PacketHeader::serialize(util::ByteSpan out) const {
+  if (out.size() < kWireSize) {
+    throw std::invalid_argument("PacketHeader: buffer too small");
+  }
+  put_u32(out.data(), packet_index);
+  put_u32(out.data() + 4, serial);
+  put_u32(out.data() + 8, group);
+}
+
+PacketHeader PacketHeader::parse(util::ConstByteSpan in) {
+  if (in.size() < kWireSize) {
+    throw std::invalid_argument("PacketHeader: buffer too small");
+  }
+  PacketHeader h;
+  h.packet_index = get_u32(in.data());
+  h.serial = get_u32(in.data() + 4);
+  h.group = get_u32(in.data() + 8);
+  return h;
+}
+
+std::vector<std::uint8_t> frame_packet(const PacketHeader& header,
+                                       util::ConstByteSpan payload) {
+  std::vector<std::uint8_t> wire(PacketHeader::kWireSize + payload.size());
+  header.serialize(util::ByteSpan(wire.data(), PacketHeader::kWireSize));
+  std::memcpy(wire.data() + PacketHeader::kWireSize, payload.data(),
+              payload.size());
+  return wire;
+}
+
+std::optional<ParsedPacket> parse_packet(util::ConstByteSpan wire) {
+  if (wire.size() < PacketHeader::kWireSize) return std::nullopt;
+  ParsedPacket p;
+  p.header = PacketHeader::parse(wire);
+  p.payload = wire.subspan(PacketHeader::kWireSize);
+  return p;
+}
+
+}  // namespace fountain::net

@@ -1,0 +1,40 @@
+// Wire format of the prototype's data packets (paper Section 7.3): a 500-byte
+// payload is "tagged with 12 bytes of information (packet index, serial
+// number and group number) to give a final packet size of 512 bytes".
+// Network byte order (big-endian).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/symbols.hpp"
+
+namespace fountain::net {
+
+struct PacketHeader {
+  static constexpr std::size_t kWireSize = 12;
+
+  std::uint32_t packet_index = 0;  // index within the encoding
+  std::uint32_t serial = 0;        // monotone per-sender transmission counter
+  std::uint32_t group = 0;         // multicast group (layer) number
+
+  void serialize(util::ByteSpan out) const;
+  static PacketHeader parse(util::ConstByteSpan in);
+
+  friend bool operator==(const PacketHeader&, const PacketHeader&) = default;
+};
+
+/// Frames header + payload into a contiguous wire packet.
+std::vector<std::uint8_t> frame_packet(const PacketHeader& header,
+                                       util::ConstByteSpan payload);
+
+struct ParsedPacket {
+  PacketHeader header;
+  util::ConstByteSpan payload;  // view into the input buffer
+};
+
+/// Parses a wire packet; returns std::nullopt if it is too short.
+std::optional<ParsedPacket> parse_packet(util::ConstByteSpan wire);
+
+}  // namespace fountain::net

@@ -1,0 +1,101 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace fountain::net {
+
+TracePopulation TracePopulation::synthetic(
+    const TracePopulationParams& params) {
+  if (params.receivers == 0 || params.trace_length == 0) {
+    throw std::invalid_argument("TracePopulation: empty population");
+  }
+  util::Rng rng(params.seed);
+
+  // Draw per-receiver loss rates uniformly, then rescale multiplicatively so
+  // the population mean matches the target (clamped back into range).
+  std::vector<double> rates(params.receivers);
+  double sum = 0.0;
+  for (auto& r : rates) {
+    r = params.min_loss +
+        (params.max_loss - params.min_loss) * rng.uniform();
+    sum += r;
+  }
+  const double scale =
+      params.target_mean_loss * static_cast<double>(params.receivers) / sum;
+  for (auto& r : rates) {
+    r = std::clamp(r * scale, params.min_loss, params.max_loss);
+  }
+
+  TracePopulation pop;
+  pop.traces_.reserve(params.receivers);
+  for (std::size_t i = 0; i < params.receivers; ++i) {
+    const double burst =
+        params.min_mean_burst +
+        (params.max_mean_burst - params.min_mean_burst) * rng.uniform();
+    GilbertElliottLoss process(rates[i], burst, rng());
+    auto trace = std::make_shared<std::vector<std::uint8_t>>();
+    trace->reserve(params.trace_length);
+    for (std::size_t t = 0; t < params.trace_length; ++t) {
+      trace->push_back(process.lost() ? 1 : 0);
+    }
+    pop.traces_.push_back(std::move(trace));
+  }
+  return pop;
+}
+
+TracePopulation TracePopulation::load(std::istream& in) {
+  TracePopulation pop;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto trace = std::make_shared<std::vector<std::uint8_t>>();
+    trace->reserve(line.size());
+    for (const char c : line) {
+      if (c == '0') {
+        trace->push_back(0);
+      } else if (c == '1') {
+        trace->push_back(1);
+      } else {
+        throw std::invalid_argument("TracePopulation: bad trace character");
+      }
+    }
+    pop.traces_.push_back(std::move(trace));
+  }
+  if (pop.traces_.empty()) {
+    throw std::invalid_argument("TracePopulation: no traces in stream");
+  }
+  return pop;
+}
+
+void TracePopulation::save(std::ostream& out) const {
+  for (const auto& trace : traces_) {
+    for (const auto bit : *trace) out.put(bit ? '1' : '0');
+    out.put('\n');
+  }
+}
+
+std::unique_ptr<LossModel> TracePopulation::loss_model(
+    std::size_t r, std::size_t start_offset) const {
+  return std::make_unique<TraceLoss>(traces_.at(r), start_offset);
+}
+
+double TracePopulation::receiver_loss_rate(std::size_t r) const {
+  const auto& t = *traces_.at(r);
+  std::size_t lost = 0;
+  for (const auto bit : t) lost += bit;
+  return static_cast<double>(lost) / static_cast<double>(t.size());
+}
+
+double TracePopulation::mean_loss_rate() const {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < traces_.size(); ++r) {
+    acc += receiver_loss_rate(r);
+  }
+  return acc / static_cast<double>(traces_.size());
+}
+
+}  // namespace fountain::net

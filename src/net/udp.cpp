@@ -1,0 +1,120 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace fountain::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in to_sockaddr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("UdpSocket: bad IPv4 address: " + ep.host);
+  }
+  return addr;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return Endpoint{buf, ntohs(addr.sin_port)};
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int reuse = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void UdpSocket::bind(const Endpoint& local) {
+  const sockaddr_in addr = to_sockaddr(local);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind");
+  }
+}
+
+std::uint16_t UdpSocket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+void UdpSocket::send_to(const Endpoint& peer, util::ConstByteSpan payload) {
+  const sockaddr_in addr = to_sockaddr(peer);
+  const auto sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0) throw_errno("sendto");
+  if (static_cast<std::size_t>(sent) != payload.size()) {
+    throw std::runtime_error("UdpSocket: short send");
+  }
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::receive(
+    std::chrono::milliseconds timeout) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready < 0) throw_errno("poll");
+  if (ready == 0) return std::nullopt;
+
+  std::vector<std::uint8_t> buf(65536);
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  const auto got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                              reinterpret_cast<sockaddr*>(&addr), &len);
+  if (got < 0) throw_errno("recvfrom");
+  buf.resize(static_cast<std::size_t>(got));
+  return Datagram{std::move(buf), from_sockaddr(addr)};
+}
+
+void UdpSocket::join_multicast(const std::string& group_addr) {
+  ip_mreq mreq{};
+  if (inet_pton(AF_INET, group_addr.c_str(), &mreq.imr_multiaddr) != 1) {
+    throw std::invalid_argument("UdpSocket: bad multicast address");
+  }
+  mreq.imr_interface.s_addr = htonl(INADDR_ANY);
+  if (::setsockopt(fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) <
+      0) {
+    throw_errno("IP_ADD_MEMBERSHIP");
+  }
+}
+
+}  // namespace fountain::net

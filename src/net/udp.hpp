@@ -1,0 +1,54 @@
+// Minimal RAII wrapper over IPv4 UDP sockets — enough to run the digital
+// fountain server and client over real datagrams (the loopback example) the
+// way the paper's prototype ran over IP multicast UDP. Multicast join is
+// supported where the host allows it; the examples default to loopback
+// unicast so they run inside containers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/symbols.hpp"
+
+namespace fountain::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Binds to host:port (port 0 picks an ephemeral port).
+  void bind(const Endpoint& local);
+  /// The locally bound port (after bind).
+  std::uint16_t local_port() const;
+
+  void send_to(const Endpoint& peer, util::ConstByteSpan payload);
+
+  struct Datagram {
+    std::vector<std::uint8_t> payload;
+    Endpoint from;
+  };
+  /// Blocks up to `timeout`; returns std::nullopt on timeout.
+  std::optional<Datagram> receive(std::chrono::milliseconds timeout);
+
+  /// Joins an IPv4 multicast group (throws if unsupported on this host).
+  void join_multicast(const std::string& group_addr);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace fountain::net

@@ -1,0 +1,33 @@
+// Tunables for the digital-fountain distribution protocol of Section 7.
+#pragma once
+
+#include <cstddef>
+
+namespace fountain::proto {
+
+struct ProtocolConfig {
+  /// Number of multicast groups g (the paper's prototype uses 4; 1 gives the
+  /// single-layer protocol).
+  unsigned layers = 4;
+
+  /// Synchronization points: layer l carries an SP every
+  /// sp_base_interval << l rounds — lower-bandwidth layers get more frequent
+  /// join opportunities, as in Vicisano-Rizzo-Crowcroft.
+  std::size_t sp_base_interval = 2;
+
+  /// Every burst_period rounds the server sends burst_length rounds at twice
+  /// the normal rate on each layer (the implicit join probe).
+  std::size_t burst_period = 16;
+  std::size_t burst_length = 1;
+
+  /// Receivers inspect the first burst_probe_window packets addressed to
+  /// them during a burst; observing zero loss there clears them to move up a
+  /// level at the next SP.
+  std::size_t burst_probe_window = 32;
+
+  /// A receiver observing more than this loss fraction within a round drops
+  /// one subscription level (congestion back-off).
+  double drop_loss_threshold = 0.45;
+};
+
+}  // namespace fountain::proto

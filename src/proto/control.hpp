@@ -1,0 +1,57 @@
+// Control-channel metadata (Section 7.3: "a UDP unicast thread which
+// provides various control information such as multicast group information
+// and file length to the client"). A client needs these fields to construct
+// the identical Tornado cascade as the server and to reassemble the file:
+// everything else flows over the data channel.
+//
+// Also provides file <-> symbol-matrix framing: a real file rarely divides
+// evenly into packets, so the final packet is zero-padded and the true byte
+// length travels in the control info.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cascade.hpp"
+#include "util/symbols.hpp"
+
+namespace fountain::proto {
+
+struct ControlInfo {
+  static constexpr std::uint32_t kMagic = 0x46544E31;  // "FTN1"
+  static constexpr std::size_t kWireSize = 48;
+
+  std::uint64_t file_bytes = 0;     // true length before padding
+  std::uint32_t symbol_size = 0;    // P
+  std::uint32_t source_count = 0;   // k
+  std::uint32_t encoded_count = 0;  // n (so stretch = n / k)
+  std::uint64_t graph_seed = 0;     // cascade construction seed
+  std::uint32_t variant = 0;        // 0 = Tornado A, 1 = Tornado B
+  std::uint32_t layers = 1;         // multicast groups
+  std::uint64_t permutation_seed = 0;
+
+  /// Derives the Tornado parameters a client must use.
+  core::TornadoParams tornado_params() const;
+
+  void serialize(util::ByteSpan out) const;
+  static ControlInfo parse(util::ConstByteSpan in);  // throws on bad magic
+
+  friend bool operator==(const ControlInfo&, const ControlInfo&) = default;
+};
+
+/// Splits `bytes` into k symbols of `symbol_size`, zero-padding the tail.
+/// k is ceil(size / symbol_size) (at least 1).
+util::SymbolMatrix file_to_symbols(util::ConstByteSpan bytes,
+                                   std::size_t symbol_size);
+
+/// Reassembles the original byte stream (drops the padding).
+std::vector<std::uint8_t> symbols_to_file(const util::SymbolMatrix& symbols,
+                                          std::uint64_t file_bytes);
+
+/// Builds the control info a server would advertise for this file.
+ControlInfo make_control_info(std::uint64_t file_bytes,
+                              std::size_t symbol_size, unsigned variant,
+                              std::uint64_t graph_seed, unsigned layers,
+                              std::uint64_t permutation_seed);
+
+}  // namespace fountain::proto

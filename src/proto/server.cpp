@@ -1,0 +1,49 @@
+#include "proto/server.hpp"
+
+namespace fountain::proto {
+
+FountainServer::FountainServer(const ProtocolConfig& config,
+                               std::size_t encoding_length,
+                               std::uint64_t permutation_seed)
+    : config_(config), schedule_(config.layers, encoding_length) {
+  util::Rng rng(permutation_seed);
+  permutation_ = rng.permutation(encoding_length);
+}
+
+bool FountainServer::is_burst_round(std::uint64_t wall_round) const {
+  if (config_.burst_period == 0 || config_.burst_length == 0) return false;
+  if (config_.burst_length >= config_.burst_period) return true;
+  // Bursts close each period so that a session never opens with one.
+  return (wall_round % config_.burst_period) >=
+         config_.burst_period - config_.burst_length;
+}
+
+bool FountainServer::is_sync_point(unsigned layer,
+                                   std::uint64_t wall_round) const {
+  const std::uint64_t interval = config_.sp_base_interval
+                                 << static_cast<std::uint64_t>(layer);
+  return interval == 0 ? true : (wall_round % interval) == 0;
+}
+
+FountainServer::Round FountainServer::next_round() {
+  Round round;
+  round.number = wall_round_;
+  round.burst = is_burst_round(wall_round_);
+  round.layers.reserve(config_.layers);
+  const std::uint64_t steps = round.burst ? 2 : 1;
+  for (unsigned l = 0; l < config_.layers; ++l) {
+    LayerRound lr;
+    lr.layer = l;
+    lr.sync_point = is_sync_point(l, wall_round_);
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      schedule_.append_layer_packets(l, schedule_round_ + s, lr.indices);
+    }
+    for (auto& index : lr.indices) index = permutation_[index];
+    round.layers.push_back(std::move(lr));
+  }
+  schedule_round_ += steps;
+  ++wall_round_;
+  return round;
+}
+
+}  // namespace fountain::proto

@@ -1,0 +1,56 @@
+// The digital-fountain server (Section 7.1): schedules encoding packets
+// across g multicast layers per the reverse-binary scheme, marks
+// synchronization points, and periodically doubles its rate for one round
+// (the burst that lets receivers probe for spare capacity without explicit
+// join experiments). During a burst the schedule simply advances twice as
+// fast, so burst packets are fresh data and the One Level Property is kept.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/config.hpp"
+#include "sched/layered_schedule.hpp"
+#include "util/random.hpp"
+
+namespace fountain::proto {
+
+class FountainServer {
+ public:
+  /// `permutation_seed` shuffles the mapping from schedule slots to encoding
+  /// indices (the paper's servers cycle through a random permutation of the
+  /// encoding); clients learn it from the control channel, but only the
+  /// scheduler here needs it.
+  FountainServer(const ProtocolConfig& config, std::size_t encoding_length,
+                 std::uint64_t permutation_seed = 0x5eed);
+
+  struct LayerRound {
+    unsigned layer = 0;
+    bool sync_point = false;
+    std::vector<std::uint32_t> indices;  // global encoding indices, in order
+  };
+
+  struct Round {
+    std::uint64_t number = 0;
+    bool burst = false;
+    std::vector<LayerRound> layers;
+  };
+
+  /// Produces the next round of transmissions and advances the schedule.
+  Round next_round();
+
+  const sched::LayeredSchedule& schedule() const { return schedule_; }
+  const ProtocolConfig& config() const { return config_; }
+
+  bool is_burst_round(std::uint64_t wall_round) const;
+  bool is_sync_point(unsigned layer, std::uint64_t wall_round) const;
+
+ private:
+  ProtocolConfig config_;
+  sched::LayeredSchedule schedule_;
+  std::vector<std::uint32_t> permutation_;
+  std::uint64_t wall_round_ = 0;
+  std::uint64_t schedule_round_ = 0;
+};
+
+}  // namespace fountain::proto

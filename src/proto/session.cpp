@@ -1,0 +1,50 @@
+#include "proto/session.hpp"
+
+#include <memory>
+
+#include "proto/server.hpp"
+
+namespace fountain::proto {
+
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          std::uint64_t seed, std::uint64_t max_rounds) {
+  FountainServer server(proto, code.encoded_count());
+
+  std::vector<std::unique_ptr<SimClient>> sims;
+  sims.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    sims.push_back(std::make_unique<SimClient>(code, proto, clients[i],
+                                               seed + 1000003 * (i + 1)));
+  }
+
+  SessionResult result;
+  result.receivers.resize(clients.size());
+  std::size_t done = 0;
+  for (std::uint64_t r = 0; r < max_rounds && done < sims.size(); ++r) {
+    const FountainServer::Round round = server.next_round();
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      if (result.receivers[i].completed) continue;
+      if (sims[i]->on_round(round)) {
+        result.receivers[i].completed = true;
+        result.receivers[i].rounds_to_complete = r + 1;
+        ++done;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < sims.size(); ++i) {
+    ReceiverReport& rep = result.receivers[i];
+    const SimClient& c = *sims[i];
+    rep.configured_base_loss = clients[i].base_loss;
+    rep.observed_loss = c.observed_loss();
+    rep.eta = c.efficiency();
+    rep.eta_c = c.coding_efficiency();
+    rep.eta_d = c.distinctness_efficiency();
+    rep.level_changes = c.level_changes();
+  }
+  return result;
+}
+
+}  // namespace fountain::proto

@@ -1,0 +1,38 @@
+// Discrete-event co-simulation of one digital-fountain server and a
+// population of receivers — the substitute for the paper's Berkeley/CMU/
+// Cornell testbed (Section 7.3). Produces per-receiver loss and efficiency
+// figures in the same form as the paper's Figure 8 scatter plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fec/erasure_code.hpp"
+#include "proto/client.hpp"
+#include "proto/config.hpp"
+
+namespace fountain::proto {
+
+struct ReceiverReport {
+  bool completed = false;
+  double configured_base_loss = 0.0;
+  double observed_loss = 0.0;
+  double eta = 0.0;    // total protocol efficiency
+  double eta_c = 0.0;  // coding efficiency
+  double eta_d = 0.0;  // distinctness efficiency
+  unsigned level_changes = 0;
+  std::uint64_t rounds_to_complete = 0;
+};
+
+struct SessionResult {
+  std::vector<ReceiverReport> receivers;
+};
+
+/// Runs a session until every receiver completes (or `max_rounds` elapse).
+/// One SimClient per entry of `clients`; receiver i gets seed seed+i.
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          std::uint64_t seed, std::uint64_t max_rounds);
+
+}  // namespace fountain::proto

@@ -1,0 +1,85 @@
+#include "sched/layered_schedule.hpp"
+
+#include <stdexcept>
+
+namespace fountain::sched {
+
+namespace {
+
+/// Reverses the low `bits` bits of v.
+unsigned bit_reverse(unsigned v, unsigned bits) {
+  unsigned out = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    out = (out << 1) | ((v >> b) & 1u);
+  }
+  return out;
+}
+
+}  // namespace
+
+LayeredSchedule::LayeredSchedule(unsigned layers, std::size_t encoding_length)
+    : g_(layers), n_(encoding_length) {
+  if (layers == 0 || layers > 16) {
+    throw std::invalid_argument("LayeredSchedule: layers must be in [1, 16]");
+  }
+  if (encoding_length == 0) {
+    throw std::invalid_argument("LayeredSchedule: empty encoding");
+  }
+  block_ = std::size_t{1} << (g_ - 1);
+}
+
+std::size_t LayeredSchedule::layer_rate(unsigned layer) const {
+  if (layer >= g_) throw std::out_of_range("LayeredSchedule: layer");
+  if (layer == 0) return 1;
+  return std::size_t{1} << (layer - 1);
+}
+
+std::size_t LayeredSchedule::level_rate(unsigned level) const {
+  if (level >= g_) throw std::out_of_range("LayeredSchedule: level");
+  std::size_t total = 0;
+  for (unsigned l = 0; l <= level; ++l) total += layer_rate(l);
+  return total;
+}
+
+std::vector<unsigned> LayeredSchedule::layer_block_offsets(
+    unsigned layer, std::uint64_t round) const {
+  if (layer >= g_) throw std::out_of_range("LayeredSchedule: layer");
+  const unsigned address_bits = g_ - 1;
+  if (address_bits == 0) return {0};  // single layer, single-packet blocks
+
+  // The reverse-binary scheme: layer l >= 1 addresses its packets with a
+  // prefix of q = g - l bits; layer 0 uses the full g-1 bits like layer 1 but
+  // with the complementary phase (mask 2^q - 1 instead of 2^(q-1) - 1), so
+  // that together the layers of any subscription level tile each block.
+  unsigned q;
+  unsigned mask;
+  if (layer == 0) {
+    q = address_bits;
+    mask = (1u << q) - 1u;
+  } else {
+    q = g_ - layer;
+    mask = (1u << (q - 1)) - 1u;
+  }
+  const auto j = static_cast<unsigned>(round % (1u << q));
+  const unsigned prefix = bit_reverse(j ^ mask, q);
+  const unsigned span = 1u << (address_bits - q);
+  std::vector<unsigned> offsets(span);
+  for (unsigned s = 0; s < span; ++s) offsets[s] = prefix * span + s;
+  return offsets;
+}
+
+void LayeredSchedule::append_layer_packets(
+    unsigned layer, std::uint64_t round,
+    std::vector<std::uint32_t>& out) const {
+  const auto offsets = layer_block_offsets(layer, round);
+  const std::size_t blocks = block_count();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t base = b * block_;
+    for (const unsigned off : offsets) {
+      const std::size_t index = base + off;
+      if (index < n_) out.push_back(static_cast<std::uint32_t>(index));
+    }
+  }
+}
+
+}  // namespace fountain::sched

@@ -1,0 +1,54 @@
+// The layered-multicast packet transmission schedule of Section 7.1.2
+// (Table 5 / Figure 7). The encoding is divided into blocks of
+// B = 2^(g-1) packets; layer 0 and layer 1 each send 1 packet per block per
+// round, layer l >= 2 sends 2^(l-1). Which packets a layer sends in round j
+// follows the reverse-binary construction, which guarantees the
+//
+//   One Level Property: a receiver that stays at a fixed subscription level
+//   sees a full permutation of the entire encoding before any repeat,
+//
+// and likewise each individual layer cycles through the whole encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fountain::sched {
+
+class LayeredSchedule {
+ public:
+  /// `layers` = g >= 1; `encoding_length` = n packets to schedule.
+  LayeredSchedule(unsigned layers, std::size_t encoding_length);
+
+  unsigned layer_count() const { return g_; }
+  std::size_t encoding_length() const { return n_; }
+  /// Block size B = 2^(g-1).
+  std::size_t block_size() const { return block_; }
+  std::size_t block_count() const { return (n_ + block_ - 1) / block_; }
+  /// Rounds before the per-layer pattern repeats (2^(g-1)).
+  std::size_t rounds_per_cycle() const { return block_; }
+
+  /// Packets per block per round sent on `layer` (paper: B_0 = B_1 = 1,
+  /// B_l = 2^(l-1) for l >= 1).
+  std::size_t layer_rate(unsigned layer) const;
+  /// Aggregate packets per block per round for a receiver subscribed to
+  /// levels 0..level (inclusive).
+  std::size_t level_rate(unsigned level) const;
+
+  /// Within-block packet offsets sent by `layer` in round `j` (0-based).
+  std::vector<unsigned> layer_block_offsets(unsigned layer,
+                                            std::uint64_t round) const;
+
+  /// Appends the global encoding indices sent on `layer` in round `j`
+  /// (the per-block offsets applied to every block; offsets beyond a short
+  /// final block are skipped).
+  void append_layer_packets(unsigned layer, std::uint64_t round,
+                            std::vector<std::uint32_t>& out) const;
+
+ private:
+  unsigned g_;
+  std::size_t n_;
+  std::size_t block_;
+};
+
+}  // namespace fountain::sched

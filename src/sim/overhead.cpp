@@ -1,0 +1,83 @@
+#include "sim/overhead.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fountain::sim {
+
+std::vector<double> sample_overhead_distribution(const fec::ErasureCode& code,
+                                                 std::size_t trials,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t n = code.encoded_count();
+  const auto k = static_cast<double>(code.source_count());
+  auto decoder = code.make_structural_decoder();
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+
+  std::vector<double> overheads;
+  overheads.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    rng.shuffle(order);
+    decoder->reset();
+    std::size_t fed = 0;
+    for (const std::uint32_t index : order) {
+      ++fed;
+      if (decoder->add_index(index)) break;
+    }
+    if (!decoder->complete()) {
+      throw std::logic_error(
+          "sample_overhead_distribution: code failed with all packets");
+    }
+    overheads.push_back(static_cast<double>(fed) / k - 1.0);
+  }
+  return overheads;
+}
+
+std::vector<carousel::ReceptionResult> sample_carousel_receptions(
+    const fec::ErasureCode& code, const carousel::Carousel& carousel,
+    const LossFactory& loss_factory, std::size_t trials, std::uint64_t seed,
+    std::size_t max_cycles) {
+  util::Rng rng(seed);
+  auto decoder = code.make_structural_decoder();
+  std::vector<std::uint8_t> seen(carousel.cycle_length(), 0);
+
+  std::vector<carousel::ReceptionResult> results;
+  results.reserve(trials);
+  const std::uint64_t max_slots =
+      static_cast<std::uint64_t>(max_cycles) * carousel.cycle_length();
+  for (std::size_t t = 0; t < trials; ++t) {
+    decoder->reset();
+    std::fill(seen.begin(), seen.end(), 0);
+    auto loss = loss_factory(t, rng);
+    const std::uint64_t start = rng.below(carousel.cycle_length());
+    results.push_back(carousel::simulate_reception(carousel, *decoder, *loss,
+                                                   start, max_slots, seen));
+  }
+  return results;
+}
+
+double expected_min_over(const std::vector<double>& pool,
+                         std::size_t receivers, std::size_t experiments,
+                         util::Rng& rng) {
+  if (pool.empty()) throw std::invalid_argument("expected_min_over: empty");
+  double acc = 0.0;
+  for (std::size_t e = 0; e < experiments; ++e) {
+    double min_v = pool[rng.below(pool.size())];
+    for (std::size_t r = 1; r < receivers; ++r) {
+      min_v = std::min(min_v, pool[rng.below(pool.size())]);
+    }
+    acc += min_v;
+  }
+  return acc / static_cast<double>(experiments);
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace fountain::sim

@@ -1,0 +1,49 @@
+// Experiment primitives shared by the benches: reception-overhead sampling
+// (Figure 2), carousel reception sampling under loss (Figures 4-6), and
+// receiver-population order statistics (the "worst case receiver" curves).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "carousel/carousel.hpp"
+#include "carousel/reception.hpp"
+#include "fec/erasure_code.hpp"
+#include "net/loss.hpp"
+#include "util/random.hpp"
+
+namespace fountain::sim {
+
+/// Feeds each trial a fresh uniformly random order of *distinct* encoding
+/// packets until the decoder completes; returns one length-overhead sample
+/// (packets_needed / k - 1) per trial. This is exactly the paper's Figure 2
+/// experiment.
+std::vector<double> sample_overhead_distribution(const fec::ErasureCode& code,
+                                                 std::size_t trials,
+                                                 std::uint64_t seed);
+
+/// Creates a per-trial loss model (so every simulated receiver gets an
+/// independent loss process).
+using LossFactory =
+    std::function<std::unique_ptr<net::LossModel>(std::size_t trial,
+                                                  util::Rng& rng)>;
+
+/// Simulates `trials` receivers joining the carousel at random phases and
+/// listening until they can reconstruct. `max_cycles` bounds runaway trials.
+std::vector<carousel::ReceptionResult> sample_carousel_receptions(
+    const fec::ErasureCode& code, const carousel::Carousel& carousel,
+    const LossFactory& loss_factory, std::size_t trials, std::uint64_t seed,
+    std::size_t max_cycles = 400);
+
+/// Expected minimum of `receivers` i.i.d. draws from `pool`, estimated as the
+/// average over `experiments` resampled receiver sets (matches the paper's
+/// "average of 100 experiments for each receiver set size").
+double expected_min_over(const std::vector<double>& pool,
+                         std::size_t receivers, std::size_t experiments,
+                         util::Rng& rng);
+
+double mean_of(const std::vector<double>& values);
+
+}  // namespace fountain::sim

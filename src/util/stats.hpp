@@ -1,0 +1,84 @@
+// Small statistics helpers shared by the simulation harness: streaming
+// moments (Welford), order statistics over collected samples, and fixed-width
+// histograms used to reproduce the paper's Figure 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fountain::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples for percentile queries. Sorting is deferred until the
+/// first query after new data arrives.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  /// q in [0,1]; nearest-rank percentile. Throws if empty.
+  double percentile(double q) const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+  double mean() const;
+  double stddev() const;
+  /// Fraction of samples strictly greater than x.
+  double fraction_above(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins. Used for the Figure 2 "percent unfinished vs overhead" curves.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const { return bin_low(i + 1); }
+  std::size_t count_in(std::size_t i) const { return counts_.at(i); }
+  /// Fraction of all samples in bins at or above bin i — i.e. the fraction of
+  /// trials still "unfinished" at the overhead represented by bin i.
+  double tail_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fountain::util

@@ -1,0 +1,44 @@
+#include "util/symbols.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace fountain::util {
+
+void xor_into(ByteSpan dst, ConstByteSpan src) {
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("xor_into: size mismatch");
+  }
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  // Word-at-a-time main loop; memcpy keeps it strict-aliasing clean and
+  // compiles to plain 64-bit loads/stores.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, 8);
+    std::memcpy(&b, src.data() + i, 8);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void SymbolMatrix::fill_zero() { std::fill(data_.begin(), data_.end(), 0); }
+
+void SymbolMatrix::fill_random(std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t i = 0;
+  for (; i + 8 <= data_.size(); i += 8) {
+    const std::uint64_t word = rng();
+    std::memcpy(data_.data() + i, &word, 8);
+  }
+  for (; i < data_.size(); ++i) {
+    data_[i] = static_cast<std::uint8_t>(rng() & 0xff);
+  }
+}
+
+}  // namespace fountain::util

@@ -1,0 +1,56 @@
+// Packet payload storage. All erasure codes in this library operate on fixed
+// length "symbols" (the paper's packets, typically P = 1 KB or 500 B). A
+// SymbolMatrix owns a contiguous rows*symbol_size byte buffer so encoders can
+// stream through memory; rows are exposed as spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fountain::util {
+
+using ByteSpan = std::span<std::uint8_t>;
+using ConstByteSpan = std::span<const std::uint8_t>;
+
+/// XORs `src` into `dst`; the word-at-a-time kernel behind Tornado encoding
+/// and decoding. Sizes must match.
+void xor_into(ByteSpan dst, ConstByteSpan src);
+
+/// Contiguous storage for a set of equal-length symbols.
+class SymbolMatrix {
+ public:
+  SymbolMatrix() = default;
+  SymbolMatrix(std::size_t rows, std::size_t symbol_size)
+      : rows_(rows), symbol_size_(symbol_size), data_(rows * symbol_size, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t symbol_size() const { return symbol_size_; }
+  bool empty() const { return rows_ == 0; }
+
+  ByteSpan row(std::size_t i) {
+    return ByteSpan(data_.data() + i * symbol_size_, symbol_size_);
+  }
+  ConstByteSpan row(std::size_t i) const {
+    return ConstByteSpan(data_.data() + i * symbol_size_, symbol_size_);
+  }
+
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::size_t size_bytes() const { return data_.size(); }
+
+  void fill_zero();
+  /// Fills every row with deterministic pseudo-random bytes derived from
+  /// `seed`; handy for tests and benchmarks.
+  void fill_random(std::uint64_t seed);
+
+  friend bool operator==(const SymbolMatrix&, const SymbolMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t symbol_size_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace fountain::util

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch used by the timing benches (Tables 2 and 3).
+#pragma once
+
+#include <chrono>
+
+namespace fountain::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fountain::util

@@ -1,0 +1,102 @@
+// Control-channel metadata and file framing.
+#include <gtest/gtest.h>
+
+#include "core/tornado.hpp"
+#include "proto/control.hpp"
+#include "util/random.hpp"
+
+namespace fountain {
+namespace {
+
+using proto::ControlInfo;
+
+TEST(ControlInfo, SerializeParseRoundTrip) {
+  ControlInfo info = proto::make_control_info(123456789, 1000, 1, 0xdeadbeef,
+                                              4, 0x123456789abcdef0ULL);
+  std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
+  info.serialize(util::ByteSpan(wire));
+  EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)), info);
+}
+
+TEST(ControlInfo, RejectsBadMagicAndShortBuffers) {
+  ControlInfo info = proto::make_control_info(1000, 100, 0, 1, 1, 2);
+  std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
+  info.serialize(util::ByteSpan(wire));
+  wire[0] ^= 0xFF;
+  EXPECT_THROW(ControlInfo::parse(util::ConstByteSpan(wire)),
+               std::invalid_argument);
+  std::vector<std::uint8_t> tiny(8);
+  EXPECT_THROW(ControlInfo::parse(util::ConstByteSpan(tiny)),
+               std::invalid_argument);
+  EXPECT_THROW(info.serialize(util::ByteSpan(tiny)), std::invalid_argument);
+}
+
+TEST(ControlInfo, RejectsInconsistentFields) {
+  ControlInfo info = proto::make_control_info(1000, 100, 0, 1, 1, 2);
+  info.encoded_count = info.source_count;  // stretch 1 is nonsense
+  std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
+  info.serialize(util::ByteSpan(wire));
+  EXPECT_THROW(ControlInfo::parse(util::ConstByteSpan(wire)),
+               std::invalid_argument);
+}
+
+TEST(ControlInfo, FieldDerivation) {
+  const ControlInfo info = proto::make_control_info(10'000, 512, 0, 7, 4, 9);
+  EXPECT_EQ(info.source_count, 20u);  // ceil(10000 / 512)
+  EXPECT_EQ(info.encoded_count, 40u);
+  const auto params = info.tornado_params();
+  EXPECT_EQ(params.k, 20u);
+  EXPECT_EQ(params.symbol_size, 512u);
+  EXPECT_EQ(params.seed, 7u);
+  EXPECT_DOUBLE_EQ(params.stretch, 2.0);
+}
+
+TEST(ControlInfo, ClientBuildsIdenticalCode) {
+  // The whole premise of the protocol: server and client derive the same
+  // cascade from the advertised control info.
+  const ControlInfo info = proto::make_control_info(500'000, 1000, 0, 77, 1,
+                                                    5);
+  core::TornadoCode server_code(info.tornado_params());
+  core::TornadoCode client_code(info.tornado_params());
+
+  util::SymbolMatrix file(server_code.source_count(), 1000);
+  file.fill_random(1);
+  util::SymbolMatrix encoding(server_code.encoded_count(), 1000);
+  server_code.encode(file, encoding);
+
+  util::Rng rng(2);
+  auto decoder = client_code.make_decoder();
+  for (const auto index : rng.permutation(server_code.encoded_count())) {
+    if (decoder->add_symbol(index, encoding.row(index))) break;
+  }
+  ASSERT_TRUE(decoder->complete());
+  EXPECT_EQ(decoder->source(), file);
+}
+
+TEST(FileFraming, PadsAndStripsExactly) {
+  std::vector<std::uint8_t> bytes(2500);
+  util::Rng rng(3);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+  const auto symbols = proto::file_to_symbols(util::ConstByteSpan(bytes), 1000);
+  EXPECT_EQ(symbols.rows(), 3u);
+  // Padding must be zero.
+  for (std::size_t i = 500; i < 1000; ++i) EXPECT_EQ(symbols.row(2)[i], 0);
+  EXPECT_EQ(proto::symbols_to_file(symbols, 2500), bytes);
+}
+
+TEST(FileFraming, ExactMultipleNeedsNoPadding) {
+  std::vector<std::uint8_t> bytes(3000, 0xAB);
+  const auto symbols = proto::file_to_symbols(util::ConstByteSpan(bytes), 1000);
+  EXPECT_EQ(symbols.rows(), 3u);
+  EXPECT_EQ(proto::symbols_to_file(symbols, 3000), bytes);
+}
+
+TEST(FileFraming, EmptyAndErrorCases) {
+  const auto symbols = proto::file_to_symbols({}, 100);
+  EXPECT_EQ(symbols.rows(), 1u);  // at least one (zero) symbol
+  EXPECT_THROW(proto::file_to_symbols({}, 0), std::invalid_argument);
+  EXPECT_THROW(proto::symbols_to_file(symbols, 101), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fountain

@@ -1,0 +1,194 @@
+// Structural invariants of the repaired Tornado graphs — the properties that
+// turned out to decide reception overhead in practice: no parallel edges, no
+// duplicate degree-2 neighbourhoods, no short cycles in the degree-2
+// subgraph, and degree-sequence preservation under repair.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "core/degree.hpp"
+#include "core/graph.hpp"
+#include "core/tornado.hpp"
+#include "util/random.hpp"
+
+namespace fountain {
+namespace {
+
+using core::BipartiteGraph;
+using core::CheckDegreePolicy;
+using core::DegreeDistribution;
+
+DegreeDistribution tornado_a_dist() {
+  return DegreeDistribution(
+      {{2, 0.2454}, {3, 0.2150}, {8, 0.2757}, {40, 0.2639}});
+}
+
+/// Shortest cycle through the degree-2 subgraph containing a given edge.
+unsigned deg2_cycle_through(
+    const std::map<std::uint32_t,
+                   std::vector<std::pair<std::uint32_t, std::uint32_t>>>& adj,
+    std::uint32_t a, std::uint32_t b, std::uint32_t self, unsigned limit) {
+  std::map<std::uint32_t, unsigned> dist;
+  std::queue<std::uint32_t> queue;
+  queue.push(a);
+  dist[a] = 0;
+  while (!queue.empty()) {
+    const auto c = queue.front();
+    queue.pop();
+    if (dist[c] >= limit) break;
+    const auto it = adj.find(c);
+    if (it == adj.end()) continue;
+    for (const auto& [next, via] : it->second) {
+      if (via == self) continue;
+      if (next == b) return dist[c] + 2;  // path + the edge itself
+      if (!dist.count(next)) {
+        dist[next] = dist[c] + 1;
+        queue.push(next);
+      }
+    }
+  }
+  return limit + 100;  // no short cycle found
+}
+
+class RepairInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairInvariants, HoldOnRandomGraphs) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto dist = tornado_a_dist();
+  const std::size_t left = 4096;
+  const auto g = BipartiteGraph::random(left, left / 2, dist, rng,
+                                        CheckDegreePolicy::kRegular, 8);
+
+  // (a) No parallel edges: every check's neighbour list is duplicate-free.
+  for (std::size_t r = 0; r < g.right_count(); ++r) {
+    std::set<std::uint32_t> seen;
+    for (const auto l : g.check_neighbors(r)) {
+      EXPECT_TRUE(seen.insert(l).second) << "check " << r;
+    }
+  }
+
+  // (b) No two degree-2 lefts share a neighbourhood, and (c) the degree-2
+  // subgraph has no cycle of length <= 8.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::map<std::uint32_t,
+           std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
+  for (std::uint32_t l = 0; l < left; ++l) {
+    const auto checks = g.left_checks(l);
+    if (checks.size() != 2) continue;
+    const auto pr = std::minmax(checks[0], checks[1]);
+    EXPECT_TRUE(pairs.emplace(pr.first, pr.second).second)
+        << "duplicate degree-2 pair at left " << l;
+    adj[checks[0]].emplace_back(checks[1], l);
+    adj[checks[1]].emplace_back(checks[0], l);
+  }
+  for (std::uint32_t l = 0; l < left; ++l) {
+    const auto checks = g.left_checks(l);
+    if (checks.size() != 2) continue;
+    const unsigned cycle =
+        deg2_cycle_through(adj, checks[0], checks[1], l, 7);
+    EXPECT_GT(cycle, 8u) << "short degree-2 cycle through left " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RepairInvariants, RegularChecksAreBalanced) {
+  util::Rng rng(9);
+  const auto dist = tornado_a_dist();
+  const auto g = BipartiteGraph::random(8192, 4096, dist, rng,
+                                        CheckDegreePolicy::kRegular);
+  // Check degrees vary only a little around E / m (repair swaps keep the
+  // socket deal, so degrees stay within a small band).
+  const double avg =
+      static_cast<double>(g.edge_count()) / static_cast<double>(4096);
+  for (std::size_t r = 0; r < g.right_count(); ++r) {
+    const auto deg = static_cast<double>(g.check_neighbors(r).size());
+    EXPECT_NEAR(deg, avg, 4.0) << "check " << r;
+  }
+}
+
+TEST(RepairInvariants, PoissonChecksAreOverdispersed) {
+  util::Rng rng(10);
+  const auto dist = tornado_a_dist();
+  const auto g = BipartiteGraph::random(8192, 4096, dist, rng,
+                                        CheckDegreePolicy::kPoisson);
+  // Variance of Poisson check degrees ~ mean (far from regular).
+  double mean = 0.0;
+  for (std::size_t r = 0; r < g.right_count(); ++r) {
+    mean += static_cast<double>(g.check_neighbors(r).size());
+  }
+  mean /= 4096.0;
+  double var = 0.0;
+  for (std::size_t r = 0; r < g.right_count(); ++r) {
+    const double d = static_cast<double>(g.check_neighbors(r).size()) - mean;
+    var += d * d;
+  }
+  var /= 4096.0;
+  EXPECT_GT(var, mean * 0.5);
+}
+
+TEST(RepairInvariants, LeftDegreesFollowDistribution) {
+  // Repair must preserve the sampled left degree sequence (only endpoints
+  // move). Verify the empirical node fractions match the distribution.
+  util::Rng rng(11);
+  const auto dist = tornado_a_dist();
+  const std::size_t left = 20000;
+  const auto g = BipartiteGraph::random(left, left / 2, dist, rng);
+  std::map<std::size_t, std::size_t> counts;
+  for (std::uint32_t l = 0; l < left; ++l) {
+    ++counts[g.left_checks(l).size()];
+  }
+  for (const unsigned deg : {2u, 3u, 8u, 40u}) {
+    const double expected = dist.node_fraction(deg);
+    const double got =
+        static_cast<double>(counts[deg]) / static_cast<double>(left);
+    EXPECT_NEAR(got, expected, 0.02) << "degree " << deg;
+  }
+}
+
+TEST(DegreeDistribution, SpikeValidation) {
+  EXPECT_THROW(DegreeDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DegreeDistribution({{1, 0.5}, {3, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(DegreeDistribution({{2, 0.5}, {2, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(DegreeDistribution({{2, -0.1}, {3, 1.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(DegreeDistribution({{2, 0.0}, {3, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(DegreeDistribution, SpikesNormalize) {
+  DegreeDistribution dist({{2, 2.0}, {4, 2.0}});  // weights need not sum to 1
+  EXPECT_DOUBLE_EQ(dist.edge_fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(dist.edge_fraction(4), 0.5);
+  EXPECT_DOUBLE_EQ(dist.edge_fraction(3), 0.0);
+  // avg node degree = 1 / (0.5/2 + 0.5/4) = 8/3.
+  EXPECT_NEAR(dist.average_node_degree(), 8.0 / 3.0, 1e-12);
+  EXPECT_EQ(dist.min_degree(), 2u);
+  EXPECT_EQ(dist.max_degree(), 4u);
+}
+
+TEST(Tornado, PerLevelDistributionFallback) {
+  // Small cascade levels must not use the 40-degree spike (there would be
+  // almost no such nodes); verify via the constructed graph's max degree.
+  core::TornadoCode code(core::TornadoParams::tornado_a(2048, 16, 5));
+  const auto& cascade = code.cascade();
+  for (std::size_t j = 0; j < cascade.graph_count(); ++j) {
+    const auto& g = cascade.graph(j);
+    std::size_t max_deg = 0;
+    for (std::uint32_t l = 0; l < g.left_count(); ++l) {
+      max_deg = std::max(max_deg, g.left_checks(l).size());
+    }
+    if (g.left_count() < 16 * 40) {
+      EXPECT_LE(max_deg, 9u) << "level " << j << " should use the fallback";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fountain

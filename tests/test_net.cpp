@@ -1,0 +1,237 @@
+// Loss models, synthetic traces, packet framing, and the UDP transport.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "net/loss.hpp"
+#include "net/packet_header.hpp"
+#include "net/trace.hpp"
+#include "net/udp.hpp"
+
+namespace fountain {
+namespace {
+
+TEST(BernoulliLoss, EmpiricalRate) {
+  net::BernoulliLoss loss(0.25, 1);
+  int lost = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) lost += loss.lost();
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(loss.nominal_loss_rate(), 0.25);
+}
+
+TEST(BernoulliLoss, ResetReplaysStream) {
+  net::BernoulliLoss loss(0.5, 2);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(loss.lost());
+  loss.reset();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(loss.lost(), first[i]);
+}
+
+TEST(BernoulliLoss, CloneIsIndependentCopy) {
+  net::BernoulliLoss loss(0.5, 3);
+  auto clone = loss.clone();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(loss.lost(), clone->lost());
+}
+
+TEST(BernoulliLoss, InvalidProbabilityThrows) {
+  EXPECT_THROW(net::BernoulliLoss(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(net::BernoulliLoss(1.0, 1), std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryLossRate) {
+  net::GilbertElliottLoss loss(0.2, 5.0, 4);
+  std::int64_t lost = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) lost += loss.lost();
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.01);
+}
+
+TEST(GilbertElliott, BurstsAreLongerThanBernoulli) {
+  // Mean run length of consecutive losses should approach mean_burst.
+  net::GilbertElliottLoss loss(0.2, 10.0, 5);
+  std::vector<int> runs;
+  int current = 0;
+  for (int i = 0; i < 400000; ++i) {
+    if (loss.lost()) {
+      ++current;
+    } else if (current > 0) {
+      runs.push_back(current);
+      current = 0;
+    }
+  }
+  double mean_run = 0.0;
+  for (int r : runs) mean_run += r;
+  mean_run /= static_cast<double>(runs.size());
+  EXPECT_NEAR(mean_run, 10.0, 1.0);
+}
+
+TEST(GilbertElliott, InfeasibleParamsThrow) {
+  EXPECT_THROW(net::GilbertElliottLoss(0.9, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(net::GilbertElliottLoss(0.2, 0.5, 1), std::invalid_argument);
+}
+
+TEST(TraceLoss, PlaybackWrapsAndOffsets) {
+  auto trace = std::make_shared<std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 0, 0, 1, 0});
+  net::TraceLoss loss(trace, 3);
+  EXPECT_TRUE(loss.lost());   // position 3
+  EXPECT_FALSE(loss.lost());  // position 4
+  EXPECT_TRUE(loss.lost());   // wrapped to 0
+  EXPECT_FALSE(loss.lost());
+  loss.reset();
+  EXPECT_TRUE(loss.lost());  // back at 3
+  EXPECT_NEAR(loss.nominal_loss_rate(), 0.4, 1e-12);
+}
+
+TEST(TraceLoss, EmptyTraceThrows) {
+  auto trace = std::make_shared<std::vector<std::uint8_t>>();
+  EXPECT_THROW(net::TraceLoss(trace, 0), std::invalid_argument);
+}
+
+TEST(TracePopulation, SyntheticMatchesPaperDescription) {
+  net::TracePopulationParams params;
+  params.receivers = 60;
+  params.trace_length = 60000;
+  const auto pop = net::TracePopulation::synthetic(params);
+  ASSERT_EQ(pop.receiver_count(), 60u);
+  // Mean loss ~18%, per-receiver rates heterogeneous and within range.
+  EXPECT_NEAR(pop.mean_loss_rate(), 0.18, 0.03);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (std::size_t r = 0; r < pop.receiver_count(); ++r) {
+    const double rate = pop.receiver_loss_rate(r);
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+  }
+  EXPECT_LT(lo, 0.08);  // some receivers have low loss
+  EXPECT_GT(hi, 0.25);  // some receivers have high loss
+}
+
+TEST(TracePopulation, SaveLoadRoundTrip) {
+  net::TracePopulationParams params;
+  params.receivers = 5;
+  params.trace_length = 1000;
+  const auto pop = net::TracePopulation::synthetic(params);
+  std::stringstream ss;
+  pop.save(ss);
+  const auto loaded = net::TracePopulation::load(ss);
+  ASSERT_EQ(loaded.receiver_count(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(loaded.receiver_loss_rate(r), pop.receiver_loss_rate(r));
+  }
+}
+
+TEST(TracePopulation, LoadRejectsGarbage) {
+  std::stringstream ss("0101x\n");
+  EXPECT_THROW(net::TracePopulation::load(ss), std::invalid_argument);
+  std::stringstream empty;
+  EXPECT_THROW(net::TracePopulation::load(empty), std::invalid_argument);
+}
+
+TEST(TracePopulation, LossModelPlaysTrace) {
+  net::TracePopulationParams params;
+  params.receivers = 1;
+  params.trace_length = 5000;
+  const auto pop = net::TracePopulation::synthetic(params);
+  auto model = pop.loss_model(0, 0);
+  std::size_t lost = 0;
+  for (std::size_t i = 0; i < 5000; ++i) lost += model->lost();
+  EXPECT_NEAR(static_cast<double>(lost) / 5000.0, pop.receiver_loss_rate(0),
+              1e-12);
+}
+
+TEST(PacketHeader, WireFormatIsBigEndian) {
+  net::PacketHeader h;
+  h.packet_index = 0x01020304;
+  h.serial = 0x0A0B0C0D;
+  h.group = 0x00000002;
+  std::vector<std::uint8_t> buf(12);
+  h.serialize(util::ByteSpan(buf));
+  const std::vector<std::uint8_t> expect{0x01, 0x02, 0x03, 0x04, 0x0A, 0x0B,
+                                         0x0C, 0x0D, 0x00, 0x00, 0x00, 0x02};
+  EXPECT_EQ(buf, expect);
+  EXPECT_EQ(net::PacketHeader::parse(util::ConstByteSpan(buf)), h);
+}
+
+TEST(PacketHeader, HeaderIsTwelveBytes) {
+  // The paper: 500-byte payload + 12 bytes of tag = 512-byte packets.
+  EXPECT_EQ(net::PacketHeader::kWireSize, 12u);
+  util::SymbolMatrix payload(1, 500);
+  payload.fill_random(1);
+  const auto wire = net::frame_packet(net::PacketHeader{7, 8, 9},
+                                      payload.row(0));
+  EXPECT_EQ(wire.size(), 512u);
+}
+
+TEST(PacketHeader, FrameParseRoundTrip) {
+  util::SymbolMatrix payload(1, 100);
+  payload.fill_random(2);
+  net::PacketHeader h{123456, 789, 3};
+  const auto wire = net::frame_packet(h, payload.row(0));
+  const auto parsed = net::parse_packet(util::ConstByteSpan(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header, h);
+  ASSERT_EQ(parsed->payload.size(), 100u);
+  EXPECT_TRUE(std::equal(parsed->payload.begin(), parsed->payload.end(),
+                         payload.row(0).begin()));
+}
+
+TEST(PacketHeader, ShortBufferRejected) {
+  std::vector<std::uint8_t> tiny(4);
+  EXPECT_FALSE(net::parse_packet(util::ConstByteSpan(tiny)).has_value());
+  net::PacketHeader h;
+  EXPECT_THROW(h.serialize(util::ByteSpan(tiny)), std::invalid_argument);
+}
+
+TEST(Udp, LoopbackRoundTrip) {
+  net::UdpSocket receiver;
+  receiver.bind({"127.0.0.1", 0});
+  const auto port = receiver.local_port();
+  ASSERT_GT(port, 0);
+
+  net::UdpSocket sender;
+  std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  sender.send_to({"127.0.0.1", port}, util::ConstByteSpan(payload));
+
+  const auto got = receiver.receive(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, payload);
+  EXPECT_EQ(got->from.host, "127.0.0.1");
+}
+
+TEST(Udp, ReceiveTimesOut) {
+  net::UdpSocket sock;
+  sock.bind({"127.0.0.1", 0});
+  const auto got = sock.receive(std::chrono::milliseconds(50));
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Udp, BadAddressThrows) {
+  net::UdpSocket sock;
+  EXPECT_THROW(sock.bind({"not-an-ip", 0}), std::invalid_argument);
+  std::vector<std::uint8_t> payload{1};
+  EXPECT_THROW(sock.send_to({"999.1.1.1", 1}, util::ConstByteSpan(payload)),
+               std::invalid_argument);
+}
+
+TEST(Udp, ManyDatagramsInOrderOnLoopback) {
+  net::UdpSocket receiver;
+  receiver.bind({"127.0.0.1", 0});
+  const auto port = receiver.local_port();
+  net::UdpSocket sender;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    std::vector<std::uint8_t> payload{i};
+    sender.send_to({"127.0.0.1", port}, util::ConstByteSpan(payload));
+  }
+  int received = 0;
+  while (auto got = receiver.receive(std::chrono::milliseconds(200))) {
+    ++received;
+    if (received == 20) break;
+  }
+  EXPECT_EQ(received, 20);  // loopback should not drop at this volume
+}
+
+}  // namespace
+}  // namespace fountain

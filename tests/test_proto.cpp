@@ -1,0 +1,276 @@
+// Digital-fountain protocol: server scheduling, client subscription
+// behaviour, the statistical decoding client, and whole sessions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tornado.hpp"
+#include "proto/client.hpp"
+#include "proto/server.hpp"
+#include "proto/session.hpp"
+
+namespace fountain {
+namespace {
+
+using proto::FountainServer;
+using proto::ProtocolConfig;
+using proto::SimClient;
+using proto::SimClientConfig;
+
+ProtocolConfig small_config() {
+  ProtocolConfig cfg;
+  cfg.layers = 4;
+  cfg.sp_base_interval = 2;
+  cfg.burst_period = 8;
+  cfg.burst_length = 1;
+  return cfg;
+}
+
+TEST(Server, BurstCadence) {
+  FountainServer server(small_config(), 64);
+  // burst_period = 8, burst_length = 1: the burst closes each period.
+  for (std::uint64_t r = 0; r < 32; ++r) {
+    EXPECT_EQ(server.is_burst_round(r), r % 8 == 7) << r;
+  }
+  ProtocolConfig no_burst = small_config();
+  no_burst.burst_period = 0;
+  FountainServer quiet(no_burst, 64);
+  for (std::uint64_t r = 0; r < 16; ++r) EXPECT_FALSE(quiet.is_burst_round(r));
+}
+
+TEST(Server, SyncPointCadenceInverselyProportionalToBandwidth) {
+  FountainServer server(small_config(), 64);
+  // Layer l has SPs every 2 << l rounds: lower layers more often.
+  EXPECT_TRUE(server.is_sync_point(0, 0));
+  EXPECT_TRUE(server.is_sync_point(0, 2));
+  EXPECT_FALSE(server.is_sync_point(0, 3));
+  EXPECT_TRUE(server.is_sync_point(3, 0));
+  EXPECT_FALSE(server.is_sync_point(3, 8));
+  EXPECT_TRUE(server.is_sync_point(3, 16));
+}
+
+TEST(Server, NormalRoundCarriesScheduledPackets) {
+  ProtocolConfig cfg = small_config();
+  cfg.burst_period = 1000000;  // no bursts
+  FountainServer server(cfg, 64);
+  const auto round = server.next_round();
+  EXPECT_EQ(round.number, 0u);
+  EXPECT_FALSE(round.burst);
+  ASSERT_EQ(round.layers.size(), 4u);
+  // Per round, layer l carries rate_l packets per block * 8 blocks.
+  EXPECT_EQ(round.layers[0].indices.size(), 8u);
+  EXPECT_EQ(round.layers[1].indices.size(), 8u);
+  EXPECT_EQ(round.layers[2].indices.size(), 16u);
+  EXPECT_EQ(round.layers[3].indices.size(), 32u);
+  // Together one round at full subscription tiles the whole encoding.
+  std::set<std::uint32_t> seen;
+  for (const auto& lr : round.layers) {
+    for (const auto p : lr.indices) EXPECT_TRUE(seen.insert(p).second);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Server, BurstRoundDoublesRateWithFreshPackets) {
+  ProtocolConfig cfg = small_config();
+  cfg.burst_period = 4;
+  FountainServer server(cfg, 64);
+  server.next_round();
+  server.next_round();
+  server.next_round();
+  const auto burst = server.next_round();  // round 3 closes the period
+  ASSERT_TRUE(burst.burst);
+  EXPECT_EQ(burst.layers[0].indices.size(), 16u);  // doubled
+  // Layer 0 packets within the burst must be distinct (schedule advances,
+  // no duplicate filler).
+  std::set<std::uint32_t> seen(burst.layers[0].indices.begin(),
+                               burst.layers[0].indices.end());
+  EXPECT_EQ(seen.size(), burst.layers[0].indices.size());
+}
+
+TEST(Server, OneLevelPropertySurvivesBursts) {
+  // Even with bursts, a fixed-level receiver sees no duplicates until the
+  // entire encoding has been transmitted to its level.
+  ProtocolConfig cfg = small_config();
+  cfg.burst_period = 3;
+  FountainServer server(cfg, 64);
+  std::set<std::uint32_t> seen;
+  std::size_t received = 0;
+  bool dup_before_full = false;
+  for (int r = 0; r < 100 && seen.size() < 64; ++r) {
+    const auto round = server.next_round();
+    for (const auto& lr : round.layers) {
+      if (lr.layer > 2) continue;  // subscribe to level 2
+      for (const auto p : lr.indices) {
+        ++received;
+        if (!seen.insert(p).second && seen.size() < 64) {
+          dup_before_full = true;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_FALSE(dup_before_full);
+  EXPECT_EQ(received, 64u);
+}
+
+TEST(SimClient, LosslessFixedLevelIsPerfectlyEfficient) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 1));
+  ProtocolConfig cfg = small_config();
+  SimClientConfig client_cfg;
+  client_cfg.base_loss = 0.0;
+  client_cfg.fixed_level = true;
+  client_cfg.initial_level = 3;
+  SimClient client(code, cfg, client_cfg, 7);
+  FountainServer server(cfg, code.encoded_count());
+  while (!client.complete()) client.on_round(server.next_round());
+  EXPECT_DOUBLE_EQ(client.distinctness_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(client.observed_loss(), 0.0);
+  // eta == eta_c in the no-duplicate regime; Tornado overhead keeps it < 1.
+  EXPECT_GT(client.efficiency(), 0.85);
+  EXPECT_LE(client.efficiency(), 1.0);
+  EXPECT_EQ(client.level_changes(), 0u);
+}
+
+TEST(SimClient, ModerateLossStillNoDuplicatesAtFixedLevel) {
+  // One Level Property: below (c-1-eps)/c loss, a fixed-level receiver
+  // completes before any duplicate arrives.
+  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 2));
+  ProtocolConfig cfg = small_config();
+  SimClientConfig client_cfg;
+  client_cfg.base_loss = 0.30;
+  client_cfg.fixed_level = true;
+  client_cfg.initial_level = 3;
+  SimClient client(code, cfg, client_cfg, 8);
+  FountainServer server(cfg, code.encoded_count());
+  while (!client.complete()) client.on_round(server.next_round());
+  EXPECT_DOUBLE_EQ(client.distinctness_efficiency(), 1.0);
+  EXPECT_NEAR(client.observed_loss(), 0.30, 0.05);
+}
+
+TEST(SimClient, SevereLossForcesDuplicates) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 3));
+  ProtocolConfig cfg = small_config();
+  SimClientConfig client_cfg;
+  client_cfg.base_loss = 0.65;
+  client_cfg.fixed_level = true;
+  client_cfg.initial_level = 3;
+  SimClient client(code, cfg, client_cfg, 9);
+  FountainServer server(cfg, code.encoded_count());
+  for (int r = 0; r < 100000 && !client.complete(); ++r) {
+    client.on_round(server.next_round());
+  }
+  ASSERT_TRUE(client.complete());
+  EXPECT_LT(client.distinctness_efficiency(), 1.0);
+}
+
+TEST(SimClient, AdaptiveClientChangesLevels) {
+  // A receiver subscribed far above its capacity experiences congestion loss
+  // and must back off level by level.
+  core::TornadoCode code(core::TornadoParams::tornado_a(2000, 16, 4));
+  ProtocolConfig cfg = small_config();
+  SimClientConfig client_cfg;
+  client_cfg.base_loss = 0.02;
+  client_cfg.congestion_extra_loss = 0.6;  // well above the drop threshold
+  client_cfg.capacity_change_prob = 0.0;
+  client_cfg.initial_level = 3;
+  client_cfg.initial_capacity = 0;
+  SimClient client(code, cfg, client_cfg, 10);
+  FountainServer server(cfg, code.encoded_count());
+  for (int r = 0; r < 100000 && !client.complete(); ++r) {
+    client.on_round(server.next_round());
+  }
+  ASSERT_TRUE(client.complete());
+  // The receiver backs off at least twice before the transfer finishes.
+  EXPECT_GE(client.level_changes(), 2u);
+  EXPECT_LT(client.level(), 3u);
+}
+
+TEST(StatisticalClient, DecodesAndReportsAttempts) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(300, 16, 5));
+  util::SymbolMatrix source(300, 16);
+  source.fill_random(1);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+
+  proto::StatisticalDataClient client(code, 0.0, 0.01);
+  util::Rng rng(6);
+  const auto order = rng.permutation(code.encoded_count());
+  for (const auto index : order) {
+    if (client.on_packet(index, encoding.row(index))) break;
+  }
+  ASSERT_TRUE(client.complete());
+  EXPECT_EQ(client.source(), source);
+  // Starting the threshold at exactly k typically forces > 1 attempt.
+  EXPECT_GE(client.decode_attempts(), 1u);
+}
+
+TEST(StatisticalClient, HighInitialMarginDecodesInOneAttempt) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(300, 16, 5));
+  util::SymbolMatrix source(300, 16);
+  source.fill_random(2);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+
+  proto::StatisticalDataClient client(code, 0.30, 0.01);
+  util::Rng rng(7);
+  const auto order = rng.permutation(code.encoded_count());
+  for (const auto index : order) {
+    if (client.on_packet(index, encoding.row(index))) break;
+  }
+  ASSERT_TRUE(client.complete());
+  EXPECT_EQ(client.decode_attempts(), 1u);
+  EXPECT_EQ(client.source(), source);
+}
+
+TEST(StatisticalClient, SourceBeforeCompleteThrows) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(100, 16, 5));
+  proto::StatisticalDataClient client(code);
+  EXPECT_THROW(client.source(), std::logic_error);
+  EXPECT_THROW(proto::StatisticalDataClient(code, -0.1), std::invalid_argument);
+}
+
+TEST(Session, AllReceiversComplete) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 6));
+  ProtocolConfig cfg = small_config();
+  std::vector<SimClientConfig> clients;
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    SimClientConfig c;
+    c.base_loss = loss;
+    c.fixed_level = true;
+    c.initial_level = 3;
+    clients.push_back(c);
+  }
+  const auto result = proto::run_session(code, cfg, clients, 1, 200000);
+  ASSERT_EQ(result.receivers.size(), 5u);
+  for (const auto& r : result.receivers) {
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.eta, 0.0);
+    EXPECT_LE(r.eta, 1.0);
+    EXPECT_GE(r.eta_c, r.eta);  // eta = eta_c * eta_d <= eta_c
+    EXPECT_NEAR(r.eta, r.eta_c * r.eta_d, 1e-9);
+  }
+  // Higher loss never finishes sooner.
+  EXPECT_LE(result.receivers.front().rounds_to_complete,
+            result.receivers.back().rounds_to_complete);
+}
+
+TEST(Session, HeterogeneousAdaptivePopulation) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(1000, 16, 7));
+  ProtocolConfig cfg = small_config();
+  std::vector<SimClientConfig> clients;
+  util::Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    SimClientConfig c;
+    c.base_loss = 0.02 + 0.2 * rng.uniform();
+    c.initial_capacity = static_cast<unsigned>(rng.below(4));
+    c.capacity_change_prob = 0.02;
+    clients.push_back(c);
+  }
+  const auto result = proto::run_session(code, cfg, clients, 2, 400000);
+  std::size_t completed = 0;
+  for (const auto& r : result.receivers) completed += r.completed;
+  EXPECT_EQ(completed, result.receivers.size());
+}
+
+}  // namespace
+}  // namespace fountain

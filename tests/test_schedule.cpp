@@ -1,0 +1,154 @@
+// Layered transmission schedule: exact reproduction of the paper's Table 5
+// and the One Level Property for every layer count.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/layered_schedule.hpp"
+
+namespace fountain {
+namespace {
+
+using sched::LayeredSchedule;
+
+TEST(Schedule, RatesMatchPaper) {
+  LayeredSchedule s(4, 64);
+  EXPECT_EQ(s.block_size(), 8u);
+  EXPECT_EQ(s.rounds_per_cycle(), 8u);
+  EXPECT_EQ(s.layer_rate(0), 1u);
+  EXPECT_EQ(s.layer_rate(1), 1u);
+  EXPECT_EQ(s.layer_rate(2), 2u);
+  EXPECT_EQ(s.layer_rate(3), 4u);
+  EXPECT_EQ(s.level_rate(3), 8u);  // full subscription covers a block/round
+  EXPECT_EQ(s.level_rate(1), 2u);
+}
+
+TEST(Schedule, Table5Exactly) {
+  // Paper Table 5: 4 layers, blocks of 8 packets, rounds 1..8.
+  LayeredSchedule s(4, 8);
+  using Row = std::vector<std::vector<unsigned>>;
+  const Row layer3 = {{0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 2, 3}, {4, 5, 6, 7},
+                      {0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 2, 3}, {4, 5, 6, 7}};
+  const Row layer2 = {{4, 5}, {0, 1}, {6, 7}, {2, 3},
+                      {4, 5}, {0, 1}, {6, 7}, {2, 3}};
+  const Row layer1 = {{6}, {2}, {4}, {0}, {7}, {3}, {5}, {1}};
+  const Row layer0 = {{7}, {3}, {5}, {1}, {6}, {2}, {4}, {0}};
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    EXPECT_EQ(s.layer_block_offsets(3, round), layer3[round]) << round;
+    EXPECT_EQ(s.layer_block_offsets(2, round), layer2[round]) << round;
+    EXPECT_EQ(s.layer_block_offsets(1, round), layer1[round]) << round;
+    EXPECT_EQ(s.layer_block_offsets(0, round), layer0[round]) << round;
+  }
+}
+
+TEST(Schedule, Figure7Round4Pattern) {
+  // Paper Figure 7 (g = 4, "round 4" = rounds counted from 1, i.e. round
+  // index 3): layer 1 sends 0, layer 0 sends 1, layer 2 sends 2-3, layer 3
+  // sends 4-7 — together they tile the block.
+  LayeredSchedule s(4, 8);
+  EXPECT_EQ(s.layer_block_offsets(1, 3), std::vector<unsigned>{0});
+  EXPECT_EQ(s.layer_block_offsets(0, 3), std::vector<unsigned>{1});
+  EXPECT_EQ(s.layer_block_offsets(2, 3), (std::vector<unsigned>{2, 3}));
+  EXPECT_EQ(s.layer_block_offsets(3, 3), (std::vector<unsigned>{4, 5, 6, 7}));
+}
+
+/// One Level Property: at any fixed subscription level, the receiver sees a
+/// permutation of the entire encoding before any packet repeats.
+class OneLevelProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OneLevelProperty, HoldsForEveryLevel) {
+  const unsigned g = GetParam();
+  const std::size_t n = 8 * (std::size_t{1} << (g - 1));  // 8 full blocks
+  LayeredSchedule s(g, n);
+  for (unsigned level = 0; level < g; ++level) {
+    // Rounds needed for a full pass at this level: n / (level_rate * blocks).
+    const std::size_t per_round = s.level_rate(level) * s.block_count();
+    ASSERT_EQ(n % per_round, 0u);
+    const std::size_t rounds = n / per_round;
+    std::set<std::uint32_t> seen;
+    std::vector<std::uint32_t> packets;
+    for (std::uint64_t j = 0; j < rounds; ++j) {
+      for (unsigned l = 0; l <= level; ++l) {
+        packets.clear();
+        s.append_layer_packets(l, j, packets);
+        for (const auto p : packets) {
+          EXPECT_TRUE(seen.insert(p).second)
+              << "duplicate packet " << p << " at level " << level
+              << " round " << j << " (g=" << g << ")";
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), n) << "level " << level << " g=" << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, OneLevelProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Schedule, EachLayerAloneCoversEverything) {
+  // The paper also notes each individual multicast layer carries a full
+  // permutation of the encoding before repeating.
+  const unsigned g = 4;
+  LayeredSchedule s(g, 64);
+  for (unsigned layer = 0; layer < g; ++layer) {
+    const std::size_t per_round = s.layer_rate(layer) * s.block_count();
+    const std::size_t rounds = 64 / per_round;
+    std::set<std::uint32_t> seen;
+    std::vector<std::uint32_t> packets;
+    for (std::uint64_t j = 0; j < rounds; ++j) {
+      packets.clear();
+      s.append_layer_packets(layer, j, packets);
+      for (const auto p : packets) EXPECT_TRUE(seen.insert(p).second);
+    }
+    EXPECT_EQ(seen.size(), 64u) << "layer " << layer;
+  }
+}
+
+TEST(Schedule, PartialFinalBlockIsSkippedCleanly) {
+  // n = 13 with B = 8: final block has 5 packets; offsets 5..7 are skipped.
+  LayeredSchedule s(4, 13);
+  EXPECT_EQ(s.block_count(), 2u);
+  std::set<std::uint32_t> seen;
+  std::vector<std::uint32_t> packets;
+  for (std::uint64_t j = 0; j < 8; ++j) {
+    for (unsigned l = 0; l < 4; ++l) {
+      packets.clear();
+      s.append_layer_packets(l, j, packets);
+      for (const auto p : packets) {
+        ASSERT_LT(p, 13u);
+        seen.insert(p);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(Schedule, SingleLayerDegeneratesToSequentialBlocks) {
+  LayeredSchedule s(1, 5);
+  EXPECT_EQ(s.block_size(), 1u);
+  std::vector<std::uint32_t> packets;
+  s.append_layer_packets(0, 0, packets);
+  EXPECT_EQ(packets, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Schedule, PatternRepeatsEveryCycle) {
+  LayeredSchedule s(3, 32);
+  for (unsigned l = 0; l < 3; ++l) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(s.layer_block_offsets(l, j),
+                s.layer_block_offsets(l, j + s.rounds_per_cycle()));
+    }
+  }
+}
+
+TEST(Schedule, InvalidArgumentsThrow) {
+  EXPECT_THROW(LayeredSchedule(0, 8), std::invalid_argument);
+  EXPECT_THROW(LayeredSchedule(4, 0), std::invalid_argument);
+  EXPECT_THROW(LayeredSchedule(17, 8), std::invalid_argument);
+  LayeredSchedule s(3, 8);
+  EXPECT_THROW(s.layer_rate(3), std::out_of_range);
+  EXPECT_THROW(s.layer_block_offsets(3, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fountain

@@ -1,0 +1,397 @@
+// Tornado codes: degree distributions, graph construction, cascade layout,
+// and the central encode/decode properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/degree.hpp"
+#include "core/graph.hpp"
+#include "core/tornado.hpp"
+#include "util/random.hpp"
+
+namespace fountain {
+namespace {
+
+using core::BipartiteGraph;
+using core::Cascade;
+using core::HeavyTailDistribution;
+using core::TornadoCode;
+using core::TornadoParams;
+
+TEST(HeavyTail, EdgeFractionsSumToOne) {
+  for (unsigned d : {1u, 2u, 8u, 64u, 200u}) {
+    HeavyTailDistribution dist(d);
+    double sum = 0.0;
+    for (unsigned i = 2; i <= d + 1; ++i) sum += dist.edge_fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "D=" << d;
+  }
+}
+
+TEST(HeavyTail, NodeFractionsSumToOne) {
+  HeavyTailDistribution dist(8);
+  double sum = 0.0;
+  for (unsigned i = 2; i <= 9; ++i) sum += dist.node_fraction(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HeavyTail, AverageDegreeFormula) {
+  // avg node degree = 1 / sum(lambda_i / i); check against direct sum.
+  HeavyTailDistribution dist(8);
+  double direct = 0.0;
+  for (unsigned i = 2; i <= 9; ++i) {
+    direct += static_cast<double>(i) * dist.node_fraction(i);
+  }
+  EXPECT_NEAR(dist.average_node_degree(), direct, 1e-9);
+  // Heavier tail => more edges per node.
+  EXPECT_GT(HeavyTailDistribution(64).average_node_degree(),
+            HeavyTailDistribution(8).average_node_degree());
+}
+
+TEST(HeavyTail, SamplesStayInRange) {
+  HeavyTailDistribution dist(8);
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const unsigned deg = dist.sample(rng);
+    ASSERT_GE(deg, 2u);
+    ASSERT_LE(deg, 9u);
+  }
+}
+
+TEST(HeavyTail, EmpiricalFrequenciesMatch) {
+  HeavyTailDistribution dist(8);
+  util::Rng rng(2);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[dist.sample(rng)];
+  for (unsigned deg = 2; deg <= 9; ++deg) {
+    EXPECT_NEAR(static_cast<double>(counts[deg]) / n, dist.node_fraction(deg),
+                0.01)
+        << "degree " << deg;
+  }
+}
+
+TEST(HeavyTail, DegreeTwoIsMostCommon) {
+  // lambda_2 / 2 dominates the node distribution.
+  HeavyTailDistribution dist(16);
+  for (unsigned deg = 3; deg <= 17; ++deg) {
+    EXPECT_GT(dist.node_fraction(2), dist.node_fraction(deg));
+  }
+}
+
+TEST(Graph, AdjacencyTransposeConsistent) {
+  HeavyTailDistribution dist(8);
+  util::Rng rng(3);
+  const auto g = BipartiteGraph::random(200, 100, dist, rng);
+  EXPECT_EQ(g.left_count(), 200u);
+  EXPECT_EQ(g.right_count(), 100u);
+  // Edge (r, l) appears in left_checks(l) iff l appears in
+  // check_neighbors(r), with equal multiplicity (1 after dedup).
+  std::set<std::pair<std::uint32_t, std::uint32_t>> from_right;
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    std::set<std::uint32_t> neigh;
+    for (const auto l : g.check_neighbors(r)) {
+      EXPECT_TRUE(neigh.insert(l).second) << "duplicate edge at check " << r;
+      from_right.emplace(r, l);
+    }
+  }
+  std::size_t from_left = 0;
+  for (std::uint32_t l = 0; l < 200; ++l) {
+    for (const auto r : g.left_checks(l)) {
+      EXPECT_TRUE(from_right.count({r, l}));
+      ++from_left;
+    }
+  }
+  EXPECT_EQ(from_left, from_right.size());
+  EXPECT_EQ(g.edge_count(), from_right.size());
+}
+
+TEST(Graph, EdgeCountTracksDistribution) {
+  HeavyTailDistribution dist(8);
+  util::Rng rng(4);
+  const auto g = BipartiteGraph::random(5000, 2500, dist, rng);
+  const double expected = 5000 * dist.average_node_degree();
+  // Parallel-edge cancellation removes a small fraction.
+  EXPECT_GT(static_cast<double>(g.edge_count()), expected * 0.9);
+  EXPECT_LT(static_cast<double>(g.edge_count()), expected * 1.05);
+}
+
+TEST(Cascade, LevelLayoutAndExactStretch) {
+  const auto params = TornadoParams::tornado_a(1000, 32, 5);
+  Cascade cascade(params);
+  EXPECT_EQ(cascade.source_count(), 1000u);
+  EXPECT_EQ(cascade.encoded_count(), 2000u);  // exactly n = 2k
+  EXPECT_EQ(cascade.level_offset(0), 0u);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < cascade.level_count(); ++j) {
+    EXPECT_EQ(cascade.level_offset(j), total);
+    total += cascade.level_size(j);
+    if (j > 0) {
+      // Levels shrink by beta = 1/2 (rounded up).
+      EXPECT_EQ(cascade.level_size(j),
+                (cascade.level_size(j - 1) + 1) / 2);
+    }
+  }
+  EXPECT_EQ(total, cascade.node_count());
+  EXPECT_GE(cascade.parity_count(), 1u);
+  EXPECT_EQ(cascade.graph_count() + 1, cascade.level_count());
+  // Tail stops near sqrt(k).
+  EXPECT_GE(cascade.tail_size(), 31u);
+}
+
+TEST(Cascade, LevelOfIsConsistent) {
+  Cascade cascade(TornadoParams::tornado_a(500, 16, 1));
+  for (std::size_t j = 0; j < cascade.level_count(); ++j) {
+    EXPECT_EQ(cascade.level_of(cascade.level_offset(j)), j);
+    EXPECT_EQ(
+        cascade.level_of(cascade.level_offset(j) + cascade.level_size(j) - 1),
+        j);
+  }
+  EXPECT_THROW(cascade.level_of(cascade.node_count()), std::out_of_range);
+}
+
+TEST(Cascade, DeterministicForSameSeed) {
+  Cascade a(TornadoParams::tornado_a(300, 16, 77));
+  Cascade b(TornadoParams::tornado_a(300, 16, 77));
+  ASSERT_EQ(a.graph_count(), b.graph_count());
+  for (std::size_t j = 0; j < a.graph_count(); ++j) {
+    ASSERT_EQ(a.graph(j).edge_count(), b.graph(j).edge_count());
+    for (std::size_t r = 0; r < a.graph(j).right_count(); ++r) {
+      const auto na = a.graph(j).check_neighbors(r);
+      const auto nb = b.graph(j).check_neighbors(r);
+      ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+    }
+  }
+}
+
+TEST(Cascade, ParamValidation) {
+  TornadoParams p = TornadoParams::tornado_a(100, 16);
+  p.k = 0;
+  EXPECT_THROW(Cascade{p}, std::invalid_argument);
+  p = TornadoParams::tornado_a(100, 15);  // odd symbol size
+  EXPECT_THROW(Cascade{p}, std::invalid_argument);
+  p = TornadoParams::tornado_a(100, 16);
+  p.stretch = 1.0;
+  EXPECT_THROW(Cascade{p}, std::invalid_argument);
+  p = TornadoParams::tornado_a(100, 16);
+  p.heavy_tail_d = 0;
+  EXPECT_THROW(Cascade{p}, std::invalid_argument);
+}
+
+TEST(Cascade, TinyFileDegeneratesToRs) {
+  // k below the tail threshold: no graphs, pure RS.
+  Cascade cascade(TornadoParams::tornado_a(16, 16, 1));
+  EXPECT_EQ(cascade.graph_count(), 0u);
+  EXPECT_EQ(cascade.node_count(), 16u);
+  EXPECT_EQ(cascade.parity_count(), 16u);
+}
+
+class TornadoRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, char>> {};
+
+TEST_P(TornadoRoundTrip, FullReceptionDecodes) {
+  const auto [k, symbol_size, variant] = GetParam();
+  const TornadoParams params =
+      variant == 'A'
+          ? TornadoParams::tornado_a(k, symbol_size, 11)
+          : TornadoParams::tornado_b(k, symbol_size, 11);
+  TornadoCode code(params);
+  util::SymbolMatrix source(k, symbol_size);
+  source.fill_random(static_cast<std::uint64_t>(k));
+  util::SymbolMatrix encoding(code.encoded_count(), symbol_size);
+  code.encode(source, encoding);
+
+  util::Rng rng(static_cast<std::uint64_t>(k + symbol_size));
+  const auto order = rng.permutation(code.encoded_count());
+  auto decoder = code.make_decoder();
+  std::size_t fed = 0;
+  for (const auto index : order) {
+    ++fed;
+    if (decoder->add_symbol(index, encoding.row(index))) break;
+  }
+  ASSERT_TRUE(decoder->complete());
+  EXPECT_EQ(decoder->source(), source);
+  // Reception overhead must be modest (Figure 2 tops out below ~12%).
+  EXPECT_LT(static_cast<double>(fed), 1.25 * k + 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TornadoRoundTrip,
+    ::testing::Values(std::make_tuple(100, 16, 'A'),
+                      std::make_tuple(250, 64, 'A'),
+                      std::make_tuple(1000, 32, 'A'),
+                      std::make_tuple(2000, 16, 'A'),
+                      std::make_tuple(100, 16, 'B'),
+                      std::make_tuple(1000, 32, 'B'),
+                      std::make_tuple(2000, 16, 'B'),
+                      std::make_tuple(33, 16, 'A'),
+                      std::make_tuple(16, 16, 'A')));  // RS-degenerate
+
+TEST(Tornado, StructuralAgreesWithDataDecoder) {
+  // The structural decoder must declare completion at exactly the same
+  // packet count as the payload decoder for the same arrival order.
+  TornadoCode code(TornadoParams::tornado_a(500, 16, 3));
+  util::SymbolMatrix source(500, 16);
+  source.fill_random(1);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto order = rng.permutation(code.encoded_count());
+    auto data = code.make_decoder();
+    auto structural = code.make_structural_decoder();
+    std::size_t data_done = 0;
+    std::size_t structural_done = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (data_done == 0 &&
+          data->add_symbol(order[i], encoding.row(order[i]))) {
+        data_done = i + 1;
+      }
+      if (structural_done == 0 && structural->add_index(order[i])) {
+        structural_done = i + 1;
+      }
+      if (data_done && structural_done) break;
+    }
+    EXPECT_EQ(data_done, structural_done) << "trial " << trial;
+    EXPECT_EQ(data->source(), source);
+  }
+}
+
+TEST(Tornado, DecodesFromSourcePacketsAlone) {
+  TornadoCode code(TornadoParams::tornado_a(200, 16, 5));
+  util::SymbolMatrix source(200, 16);
+  source.fill_random(2);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+  auto decoder = code.make_decoder();
+  bool done = false;
+  for (std::uint32_t i = 0; i < 200 && !done; ++i) {
+    done = decoder->add_symbol(i, encoding.row(i));
+  }
+  ASSERT_TRUE(done);  // systematic: the k source packets suffice
+  EXPECT_EQ(decoder->source(), source);
+}
+
+TEST(Tornado, DuplicatesDoNotAdvanceDecoding) {
+  TornadoCode code(TornadoParams::tornado_a(100, 16, 6));
+  util::SymbolMatrix source(100, 16);
+  source.fill_random(3);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+  auto decoder = code.make_decoder();
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_FALSE(decoder->add_symbol(7, encoding.row(7)));
+  }
+  EXPECT_FALSE(decoder->complete());
+}
+
+TEST(Tornado, StructuralResetIsClean) {
+  TornadoCode code(TornadoParams::tornado_a(300, 16, 7));
+  auto dec = code.make_structural_decoder();
+  util::Rng rng(8);
+  const auto order = rng.permutation(code.encoded_count());
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (dec->add_index(order[i])) {
+      first = i + 1;
+      break;
+    }
+  }
+  ASSERT_TRUE(dec->complete());
+  dec->reset();
+  EXPECT_FALSE(dec->complete());
+  std::size_t second = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (dec->add_index(order[i])) {
+      second = i + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(first, second);  // same order => identical completion point
+}
+
+TEST(Tornado, CheckPacketsAreXorOfNeighbors) {
+  TornadoCode code(TornadoParams::tornado_a(128, 32, 9));
+  const Cascade& cascade = code.cascade();
+  util::SymbolMatrix source(128, 32);
+  source.fill_random(4);
+  util::SymbolMatrix encoding(code.encoded_count(), 32);
+  code.encode(source, encoding);
+  for (std::size_t j = 0; j < cascade.graph_count(); ++j) {
+    const auto& g = cascade.graph(j);
+    const std::size_t lo = cascade.level_offset(j);
+    const std::size_t ro = cascade.level_offset(j + 1);
+    for (std::size_t r = 0; r < g.right_count(); ++r) {
+      std::vector<std::uint8_t> expect(32, 0);
+      for (const auto l : g.check_neighbors(r)) {
+        for (int b = 0; b < 32; ++b) expect[b] ^= encoding.row(lo + l)[b];
+      }
+      EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
+                             encoding.row(ro + r).begin()))
+          << "level " << j << " check " << r;
+    }
+  }
+}
+
+TEST(Tornado, WrongSizesThrow) {
+  TornadoCode code(TornadoParams::tornado_a(64, 16, 10));
+  auto decoder = code.make_decoder();
+  util::SymbolMatrix wrong(1, 8);
+  EXPECT_THROW(decoder->add_symbol(0, wrong.row(0)), std::invalid_argument);
+  util::SymbolMatrix right(1, 16);
+  EXPECT_THROW(decoder->add_symbol(
+                   static_cast<std::uint32_t>(code.encoded_count()),
+                   right.row(0)),
+               std::out_of_range);
+  util::SymbolMatrix bad_source(63, 16);
+  util::SymbolMatrix enc(code.encoded_count(), 16);
+  EXPECT_THROW(code.encode(bad_source, enc), std::invalid_argument);
+}
+
+TEST(Tornado, VariantBNeedsFewerPackets) {
+  // Tornado B's deeper construction buys a lower mean reception overhead and
+  // a thinner tail than A at large block lengths (the regime the paper's
+  // Figure 2 targets).
+  const std::size_t k = 16384;
+  TornadoCode a(TornadoParams::tornado_a(k, 16, 21));
+  TornadoCode b(TornadoParams::tornado_b(k, 16, 21));
+  util::Rng rng(22);
+  std::vector<double> oa;
+  std::vector<double> ob;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    for (auto* code : {&a, &b}) {
+      const auto order = rng.permutation(code->encoded_count());
+      auto dec = code->make_structural_decoder();
+      std::size_t fed = 0;
+      for (const auto index : order) {
+        ++fed;
+        if (dec->add_index(index)) break;
+      }
+      (code == &a ? oa : ob)
+          .push_back(static_cast<double>(fed) / static_cast<double>(k) - 1.0);
+    }
+  }
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  auto worst = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() - 3];  // ~p95
+  };
+  EXPECT_LT(mean(ob), mean(oa) + 0.003);  // B at least matches A on average
+  EXPECT_LT(worst(ob), worst(oa) + 0.005);  // with no fatter tail
+}
+
+TEST(Tornado, EdgeCountReflectsVariant) {
+  TornadoCode a(TornadoParams::tornado_a(2000, 16, 1));
+  TornadoCode b(TornadoParams::tornado_b(2000, 16, 1));
+  EXPECT_GT(b.cascade().total_edges(), a.cascade().total_edges());
+}
+
+}  // namespace
+}  // namespace fountain
