@@ -8,6 +8,12 @@
 // recursion is closed by a conventional erasure code — here a systematic
 // Cauchy Reed-Solomon code — protecting the last level. Parity count is
 // chosen so the total encoding length is exactly n = round(c * k).
+//
+// Encoding index space (what `ReceivedSymbol::index` means everywhere):
+// [0, k) are the systematic source packets, [k, node_count()) the XOR check
+// packets in level order, and [node_count(), encoded_count()) the RS tail
+// parity. symbol_size is in bytes and must be even — the tail codec works
+// over GF(2^16) and views each packet as 16-bit words.
 #pragma once
 
 #include <cstddef>

@@ -16,6 +16,13 @@
 // TornadoStructuralDecoder runs the identical process on indices alone and is
 // what the receiver-population simulations use; decodability depends only on
 // which indices arrived, so the two agree by construction.
+//
+// Contracts shared by both decoders: indices are the cascade's encoding
+// index space [0, encoded_count()); duplicate deliveries are counted once
+// and otherwise ignored, so feeding a carousel stream straight in is safe;
+// and each decoder borrows (does not copy) its Cascade, which must outlive
+// it — the paper's setting, where one agreed-upon graph serves a whole
+// transfer.
 #pragma once
 
 #include <cstdint>

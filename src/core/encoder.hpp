@@ -1,5 +1,11 @@
 // Tornado encoding: one linear pass of XORs down the cascade plus the RS
 // tail — the (k + l) * ln(1/eps) * P running time of the paper's Table 1.
+//
+// Invariants: `source` and `encoding` must already be shaped for the given
+// cascade (k rows resp. n = encoded_count() rows, matching symbol_size()
+// in bytes); shape mismatches throw std::invalid_argument rather than
+// silently truncating. Encoding is deterministic for a fixed cascade, so a
+// server and the benches can regenerate identical packet streams.
 #pragma once
 
 #include "core/cascade.hpp"

@@ -1,4 +1,13 @@
 // Tunables for the digital-fountain distribution protocol of Section 7.
+//
+// Units: all *_period / *_interval / *_length fields count protocol rounds
+// (one round = one normal-rate packet per subscribed layer; burst rounds
+// send two); *_window counts
+// packets; drop_loss_threshold is a fraction in [0, 1]. The one hard
+// invariant is layers >= 1 (clients address level layers-1). Degenerate
+// settings are defined, not fatal: sp_base_interval == 0 makes every round a
+// synchronization point, burst_period == 0 or burst_length == 0 disables
+// bursts, and burst_length >= burst_period means the server bursts forever.
 #pragma once
 
 #include <cstddef>

@@ -2,6 +2,11 @@
 // length "symbols" (the paper's packets, typically P = 1 KB or 500 B). A
 // SymbolMatrix owns a contiguous rows*symbol_size byte buffer so encoders can
 // stream through memory; rows are exposed as spans.
+//
+// Invariants: row(i) requires i < rows() (unchecked); returned spans alias
+// the matrix buffer and are invalidated by assigning to or moving the
+// matrix. xor_into requires dst.size() == src.size() and tolerates
+// dst == src (which zeroes dst). Sizes are bytes throughout.
 #pragma once
 
 #include <cstddef>

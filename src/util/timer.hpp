@@ -1,4 +1,9 @@
 // Wall-clock stopwatch used by the timing benches (Tables 2 and 3).
+//
+// Backed by std::chrono::steady_clock, so readings are monotonic and immune
+// to system-clock adjustments; seconds() returns elapsed wall time in
+// seconds as a double (sub-microsecond resolution on the platforms we run
+// benches on). Not a CPU-time meter: it measures elapsed real time.
 #pragma once
 
 #include <chrono>
