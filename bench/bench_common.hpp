@@ -1,5 +1,7 @@
 // Shared helpers for the paper-reproduction benches: the file-size ladder of
-// Tables 2-4, wall-clock repetition, and aligned table printing.
+// Tables 2-4, wall-clock repetition, aligned table printing, and the
+// machine-readable JSON perf log (BENCH_results.json) that tracks the
+// repo's throughput trajectory from PR 2 onward.
 #pragma once
 
 #include <algorithm>
@@ -19,11 +21,19 @@ struct FileSize {
   std::size_t k;  // packets of 1 KB
 };
 
+/// FOUNTAIN_BENCH_QUICK=1 (the CI mode) shortens sweeps to a smoke-test
+/// footprint; benches should also shrink repetition caps when it is set.
+inline bool quick_mode() {
+  const char* v = std::getenv("FOUNTAIN_BENCH_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 inline const std::vector<FileSize>& size_ladder() {
   static const std::vector<FileSize> sizes = {
       {"250 KB", 250},  {"500 KB", 500},  {"1 MB", 1024},  {"2 MB", 2048},
       {"4 MB", 4096},   {"8 MB", 8192},   {"16 MB", 16384}};
-  return sizes;
+  static const std::vector<FileSize> quick(sizes.begin(), sizes.begin() + 3);
+  return quick_mode() ? quick : sizes;
 }
 
 /// Reads an environment override (used to shrink or extend sweeps).
@@ -51,6 +61,43 @@ inline double time_median(int reps, const std::function<void()>& fn) {
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// One machine-readable measurement. Collected per bench run and appended to
+/// the JSON perf log.
+struct JsonRecord {
+  std::string bench;    // which bench binary, e.g. "micro_kernels"
+  std::string name;     // case within the bench, e.g. "xor_block/1024"
+  std::string kernel;   // code/kernel variant, e.g. "avx2", "tornado_a"
+  double seconds = 0;   // wall seconds per op (micro benches average a
+                        // timing window; the table benches take a median)
+  double mb_per_s = 0;  // payload throughput (0 when not meaningful)
+  double symbols_per_s = 0;  // packet rate (0 when not meaningful)
+};
+
+/// Appends records to the JSON perf log as JSON Lines (one object per line;
+/// read the file back with `jq -s '.' BENCH_results.json`). The path comes
+/// from FOUNTAIN_BENCH_JSON (default ./BENCH_results.json); set it to "off"
+/// to disable. Append semantics let CI run several bench binaries into one
+/// artifact; remove the file first for a fresh log.
+inline void append_json(const std::vector<JsonRecord>& records) {
+  const char* path = std::getenv("FOUNTAIN_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_results.json";
+  if (std::string(path) == "off") return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for append\n", path);
+    return;
+  }
+  for (const auto& r : records) {
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"name\":\"%s\",\"kernel\":\"%s\","
+                 "\"seconds\":%.9g,\"mb_per_s\":%.6g,\"symbols_per_s\":%.6g}\n",
+                 r.bench.c_str(), r.name.c_str(), r.kernel.c_str(), r.seconds,
+                 r.mb_per_s, r.symbols_per_s);
+  }
+  std::fclose(f);
+  std::printf("\n[%zu records appended to %s]\n", records.size(), path);
 }
 
 }  // namespace fountain::bench

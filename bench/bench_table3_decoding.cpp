@@ -66,8 +66,17 @@ double run_tornado_decode(const core::TornadoCode& code, util::Rng& rng) {
 }  // namespace
 
 int main() {
-  const std::size_t rs_cap = bench::env_size("FOUNTAIN_RS_DECODE_CAP", 2048);
+  const std::size_t rs_cap = bench::env_size("FOUNTAIN_RS_DECODE_CAP",
+                                             bench::quick_mode() ? 512 : 2048);
   util::Rng rng(7);
+  std::vector<bench::JsonRecord> records;
+  const auto log = [&records](const char* code, std::size_t k, double secs) {
+    records.push_back({"table3_decoding", std::string("decode/k=") +
+                                              std::to_string(k),
+                       code, secs,
+                       static_cast<double>(k) * kPacket / secs / 1e6,
+                       static_cast<double>(k) / secs});
+  };
 
   std::printf("Table 3: Decoding Benchmarks (seconds; P = 1 KB, n = 2k)\n");
   std::printf("(RS decodes reconstruct k/2 missing source packets from k/2 "
@@ -95,6 +104,7 @@ int main() {
       const double tv = run_rs_decode(*vc, rng);
       vand_ref = tv;
       vand_ref_k = k;
+      log("vandermonde", k, tv);
       std::snprintf(buf, sizeof(buf), "%.3f", tv);
       vand = buf;
       const auto cc =
@@ -102,6 +112,7 @@ int main() {
       const double tc = run_rs_decode(*cc, rng);
       cauchy_ref = tc;
       cauchy_ref_k = k;
+      log("cauchy", k, tc);
       std::snprintf(buf, sizeof(buf), "%.3f", tc);
       cauchy = buf;
     } else {
@@ -120,6 +131,8 @@ int main() {
     core::TornadoCode b(core::TornadoParams::tornado_b(k, kPacket, 42));
     const double ta = run_tornado_decode(a, rng);
     const double tb = run_tornado_decode(b, rng);
+    log("tornado_a", k, ta);
+    log("tornado_b", k, tb);
 
     std::printf("%-8s %14s %14s %12.4f %12.4f\n", size.label, vand.c_str(),
                 cauchy.c_str(), ta, tb);
@@ -128,5 +141,6 @@ int main() {
   std::printf("\nShape check vs paper: Tornado decode stays linear in file "
               "size while RS\nblows up polynomially; Tornado B is slower than "
               "A (more edges) but still linear.\n");
+  bench::append_json(records);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kern/accumulator.hpp"
+
 namespace fountain::core {
 
 namespace {
@@ -13,10 +15,7 @@ namespace {
 
 TornadoDataDecoder::TornadoDataDecoder(const Cascade& cascade)
     : cascade_(cascade),
-      source_(cascade.source_count(), cascade.symbol_size()),
       nodes_(cascade.node_count(), cascade.symbol_size()),
-      residual_(cascade.node_count() - cascade.source_count(),
-                cascade.symbol_size()),
       parity_data_(cascade.parity_count(), cascade.symbol_size()),
       known_(cascade.node_count(), 0),
       unknown_left_(cascade.node_count() - cascade.source_count(), 0),
@@ -28,17 +27,10 @@ TornadoDataDecoder::TornadoDataDecoder(const Cascade& cascade)
     for (std::size_t r = 0; r < g.right_count(); ++r) {
       unknown_left_[right_off + r - k] =
           static_cast<std::uint32_t>(g.check_neighbors(r).size());
-    }
-  }
-  // A check with no neighbours is the XOR of nothing: its value is known (all
-  // zero) before any packet arrives.
-  util::SymbolMatrix zero(1, cascade_.symbol_size());
-  for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
-    const BipartiteGraph& g = cascade_.graph(j);
-    const std::size_t right_off = cascade_.level_offset(j + 1);
-    for (std::size_t r = 0; r < g.right_count(); ++r) {
+      // A check with no neighbours is the XOR of nothing: its value is known
+      // (all zero) before any packet arrives — rule (b) fires immediately.
       if (g.check_neighbors(r).empty()) {
-        make_known(right_off + r, zero.row(0));
+        dirty_checks_.push_back(static_cast<std::uint32_t>(right_off + r));
       }
     }
   }
@@ -76,19 +68,17 @@ bool TornadoDataDecoder::add_symbol(std::uint32_t index,
 
 void TornadoDataDecoder::make_known(std::size_t node,
                                     util::ConstByteSpan data) {
-  known_[node] = 1;
   std::memcpy(nodes_.row(node).data(), data.data(), data.size());
-  const std::size_t k = cascade_.source_count();
+  make_known_in_place(node);
+}
+
+void TornadoDataDecoder::make_known_in_place(std::size_t node) {
+  known_[node] = 1;
   const std::size_t level = cascade_.level_of(node);
-  if (node < k) {
-    std::memcpy(source_.row(node).data(), nodes_.row(node).data(),
-                data.size());
-    ++known_source_;
-  }
+  if (node < cascade_.source_count()) ++known_source_;
   if (level >= 1) {
-    // Fold the check's own value into its residual now so that the invariant
-    // "known check => residual includes its value" always holds.
-    util::xor_into(residual_.row(node - k), nodes_.row(node));
+    // Rule (a) may already apply to this check (its value just arrived while
+    // all but one neighbour were known).
     dirty_checks_.push_back(static_cast<std::uint32_t>(node));
   }
   if (level + 1 == cascade_.level_count()) ++known_tail_;
@@ -98,21 +88,57 @@ void TornadoDataDecoder::make_known(std::size_t node,
 void TornadoDataDecoder::trigger(std::size_t g) {
   const std::size_t k = cascade_.source_count();
   const std::size_t slot = g - k;
+  const std::size_t bytes = cascade_.symbol_size();
   if (known_[g]) {
-    if (unknown_left_[slot] == 1) {
-      const std::size_t level = cascade_.level_of(g);
-      const BipartiteGraph& graph = cascade_.graph(level - 1);
-      const std::size_t left_off = cascade_.level_offset(level - 1);
-      const std::size_t r = g - cascade_.level_offset(level);
-      for (const std::uint32_t l : graph.check_neighbors(r)) {
-        if (!known_[left_off + l]) {
-          make_known(left_off + l, residual_.row(slot));
-          return;
-        }
+    if (unknown_left_[slot] != 1) return;
+    // Rule (a): exactly one neighbour is still unprocessed. If it is truly
+    // unknown, recover it as check XOR (all known neighbours) in one gathered
+    // multi-source pass; if it is merely queued (already known), the check
+    // carries no new information.
+    const std::size_t level = cascade_.level_of(g);
+    const BipartiteGraph& graph = cascade_.graph(level - 1);
+    const std::size_t left_off = cascade_.level_offset(level - 1);
+    const auto neighbors =
+        graph.check_neighbors(g - cascade_.level_offset(level));
+    std::size_t target = nodes_.rows();  // sentinel: no unknown neighbour
+    for (const std::uint32_t l : neighbors) {
+      if (!known_[left_off + l]) {
+        target = left_off + l;
+        break;
       }
     }
+    if (target == nodes_.rows()) return;
+    auto out = nodes_.row(target);
+    std::memcpy(out.data(), nodes_.row(g).data(), bytes);
+    kern::XorAccumulator acc(out.data(), bytes);
+    for (const std::uint32_t l : neighbors) {
+      // Every non-target neighbour is known here (unknown_left == 1); a
+      // duplicate edge to a known neighbour XORs twice and cancels, matching
+      // the encoder.
+      if (left_off + l != target) acc.add(nodes_.row(left_off + l).data());
+    }
+    acc.flush();
+    make_known_in_place(target);
   } else if (unknown_left_[slot] == 0) {
-    make_known(g, residual_.row(slot));
+    // Rule (b): all neighbours known; the check's own value is their XOR —
+    // copy the first neighbour, fold the rest through the accumulator.
+    const std::size_t level = cascade_.level_of(g);
+    const BipartiteGraph& graph = cascade_.graph(level - 1);
+    const std::size_t left_off = cascade_.level_offset(level - 1);
+    const auto neighbors =
+        graph.check_neighbors(g - cascade_.level_offset(level));
+    auto out = nodes_.row(g);
+    if (neighbors.empty()) {
+      std::fill(out.begin(), out.end(), 0);
+    } else {
+      std::memcpy(out.data(), nodes_.row(left_off + neighbors[0]).data(),
+                  bytes);
+      kern::XorAccumulator acc(out.data(), bytes);
+      for (std::size_t i = 1; i < neighbors.size(); ++i) {
+        acc.add(nodes_.row(left_off + neighbors[i]).data());
+      }
+    }
+    make_known_in_place(g);
   }
 }
 
@@ -132,11 +158,9 @@ void TornadoDataDecoder::process() {
       if (level < cascade_.graph_count()) {
         const BipartiteGraph& graph = cascade_.graph(level);
         const std::size_t right_off = cascade_.level_offset(level + 1);
-        const auto value = nodes_.row(u);
         for (const std::uint32_t c :
              graph.left_checks(u - cascade_.level_offset(level))) {
           const std::size_t g = right_off + c;
-          util::xor_into(residual_.row(g - k), value);
           --unknown_left_[g - k];
           dirty_checks_.push_back(static_cast<std::uint32_t>(g));
         }
@@ -158,24 +182,22 @@ void TornadoDataDecoder::try_tail() {
   const std::size_t tail_off =
       cascade_.level_offset(cascade_.level_count() - 1);
   if (known_tail_ == tail_k) return;
-  const std::size_t bytes = cascade_.symbol_size();
 
-  util::SymbolMatrix tail(tail_k, bytes);
+  // Decode straight into the last-level rows of nodes_: the tail codec reads
+  // only rows marked present and reconstructs the missing rows in place, so
+  // no staging matrix or copy-back is needed.
   std::vector<bool> have(tail_k, false);
   for (std::size_t i = 0; i < tail_k; ++i) {
-    if (known_[tail_off + i]) {
-      std::memcpy(tail.row(i).data(), nodes_.row(tail_off + i).data(), bytes);
-      have[i] = true;
-    }
+    have[i] = known_[tail_off + i] != 0;
   }
   std::vector<std::pair<std::uint32_t, util::ConstByteSpan>> parity;
   parity.reserve(parity_received_);
   for (std::uint32_t p = 0; p < cascade_.parity_count(); ++p) {
     if (parity_seen_[p]) parity.emplace_back(p, parity_data_.row(p));
   }
-  cascade_.tail().decode(tail, have, parity);
+  cascade_.tail().decode(nodes_.rows_view(tail_off, tail_k), have, parity);
   for (std::size_t i = 0; i < tail_k; ++i) {
-    if (!have[i]) make_known(tail_off + i, tail.row(i));
+    if (!have[i]) make_known_in_place(tail_off + i);
   }
 }
 

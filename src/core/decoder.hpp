@@ -10,10 +10,16 @@
 //            number of received RS parity packets, the Reed-Solomon tail
 //            recovers the entire last level.
 //
-// TornadoDataDecoder carries real payloads (the paper's client); it maintains
-// one residual buffer per check node, so each graph edge costs exactly one
-// P-byte XOR over the whole decode — the (k+l) ln(1/eps) P bound of Table 1.
-// TornadoStructuralDecoder runs the identical process on indices alone and is
+// TornadoDataDecoder carries real payloads (the paper's client). Substitution
+// is deferred and batched: when a rule fires, the recovered packet is
+// computed as one gathered multi-source XOR over the check's known
+// neighbours (kern::XorAccumulator folds up to four sources per pass over
+// the destination). Each graph edge still costs exactly one P-byte XOR over
+// the whole decode — the (k+l) ln(1/eps) P bound of Table 1 — but with
+// ~d/4 destination passes per degree-d check instead of d, and no residual
+// matrix at all (node storage is halved versus the incremental-residual
+// design). TornadoStructuralDecoder runs the identical process on indices
+// alone and is
 // what the receiver-population simulations use; decodability depends only on
 // which indices arrived, so the two agree by construction.
 //
@@ -42,21 +48,25 @@ class TornadoDataDecoder final : public fec::IncrementalDecoder {
   bool complete() const override {
     return known_source_ == cascade_.source_count();
   }
-  const util::SymbolMatrix& source() const override { return source_; }
+  /// The decoded prefix of the node matrix — source rows are stored exactly
+  /// once (no mirror copy); valid only when complete().
+  util::ConstSymbolView source() const override {
+    return nodes_.rows_view(0, cascade_.source_count());
+  }
 
   /// Distinct encoding symbols that have been fed in so far.
   std::size_t distinct_received() const { return distinct_; }
 
  private:
   void make_known(std::size_t node, util::ConstByteSpan data);
+  /// Marks a node whose row in nodes_ already holds its value.
+  void make_known_in_place(std::size_t node);
   void process();
   void trigger(std::size_t check_node);
   void try_tail();
 
   const Cascade& cascade_;
-  util::SymbolMatrix source_;    // level 0, mirrored for the caller
-  util::SymbolMatrix nodes_;     // all cascade node values
-  util::SymbolMatrix residual_;  // per check node (levels >= 1)
+  util::SymbolMatrix nodes_;  // all cascade node values
   util::SymbolMatrix parity_data_;
   std::vector<std::uint8_t> known_;          // per cascade node
   std::vector<std::uint32_t> unknown_left_;  // per check node

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kern/accumulator.hpp"
+
 namespace fountain::core {
 
 void encode_cascade(const Cascade& cascade, const util::SymbolMatrix& source,
@@ -18,30 +20,38 @@ void encode_cascade(const Cascade& cascade, const util::SymbolMatrix& source,
   // Systematic prefix: level 0 is the source data itself.
   std::memcpy(encoding.data(), source.data(), source.size_bytes());
 
-  // Each check packet is the XOR of its left neighbours in the level graph.
+  // Each check packet is the XOR of its left neighbours in the level graph:
+  // initialize by copying the first neighbour (instead of zero-fill + XOR,
+  // which costs an extra full pass over the packet), then fold the remaining
+  // neighbours up to four at a time through the batching accumulator.
+  // Shapes were validated above, so this loop uses the unchecked kernels.
   for (std::size_t j = 0; j < cascade.graph_count(); ++j) {
     const BipartiteGraph& g = cascade.graph(j);
     const std::size_t left_off = cascade.level_offset(j);
     const std::size_t right_off = cascade.level_offset(j + 1);
     for (std::size_t r = 0; r < g.right_count(); ++r) {
       auto out = encoding.row(right_off + r);
-      std::fill(out.begin(), out.end(), 0);
-      for (const std::uint32_t l : g.check_neighbors(r)) {
-        util::xor_into(out, encoding.row(left_off + l));
+      const auto neighbors = g.check_neighbors(r);
+      if (neighbors.empty()) {
+        std::fill(out.begin(), out.end(), 0);
+        continue;
+      }
+      std::memcpy(out.data(), encoding.row(left_off + neighbors[0]).data(),
+                  bytes);
+      kern::XorAccumulator acc(out.data(), bytes);
+      for (std::size_t i = 1; i < neighbors.size(); ++i) {
+        acc.add(encoding.row(left_off + neighbors[i]).data());
       }
     }
   }
 
-  // RS tail over the last level.
-  const std::size_t tail_k = cascade.tail_size();
+  // RS tail over the last level, encoded directly from/into `encoding` rows
+  // (the tail source is the contiguous last level, the parity the contiguous
+  // range right after the cascade nodes — no staging copies needed).
   const std::size_t tail_off = cascade.level_offset(cascade.level_count() - 1);
-  util::SymbolMatrix tail_src(tail_k, bytes);
-  std::memcpy(tail_src.data(), encoding.data() + tail_off * bytes,
-              tail_src.size_bytes());
-  util::SymbolMatrix tail_parity(cascade.parity_count(), bytes);
-  cascade.tail().encode(tail_src, tail_parity);
-  std::memcpy(encoding.data() + cascade.node_count() * bytes,
-              tail_parity.data(), tail_parity.size_bytes());
+  cascade.tail().encode(
+      encoding.rows_view(tail_off, cascade.tail_size()),
+      encoding.rows_view(cascade.node_count(), cascade.parity_count()));
 }
 
 }  // namespace fountain::core

@@ -9,7 +9,7 @@ bool ErasureCode::decode(const std::vector<ReceivedSymbol>& received,
     if (decoder->add_symbol(symbol.index, symbol.data)) break;
   }
   if (!decoder->complete()) return false;
-  out = decoder->source();
+  out = util::SymbolMatrix(decoder->source());
   return true;
 }
 

@@ -49,8 +49,11 @@ class IncrementalDecoder {
   /// reconstructed. Duplicates are permitted.
   virtual bool add_symbol(std::uint32_t index, util::ConstByteSpan data) = 0;
   virtual bool complete() const = 0;
-  /// The reconstructed source; valid only when complete().
-  virtual const util::SymbolMatrix& source() const = 0;
+  /// The reconstructed source; valid only when complete(). Returned as a
+  /// non-owning view so decoders that already hold the source rows (e.g. the
+  /// Tornado decoder's node matrix prefix) need not keep a mirror copy; the
+  /// view is invalidated with the decoder.
+  virtual util::ConstSymbolView source() const = 0;
 };
 
 class ErasureCode {

@@ -236,7 +236,7 @@ class InterleavedCode::Decoder final : public IncrementalDecoder {
 
   bool complete() const override { return complete_; }
 
-  const util::SymbolMatrix& source() const override { return source_; }
+  util::ConstSymbolView source() const override { return source_; }
 
  private:
   struct BlockState {

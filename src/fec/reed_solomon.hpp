@@ -130,7 +130,7 @@ class RsErasureCode final : public ErasureCode {
 
     bool complete() const override { return complete_; }
 
-    const util::SymbolMatrix& source() const override { return source_; }
+    util::ConstSymbolView source() const override { return source_; }
 
    private:
     void finish() {

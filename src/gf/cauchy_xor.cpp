@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "kern/accumulator.hpp"
+
 namespace fountain::gf {
 
 namespace {
@@ -35,13 +37,13 @@ void cauchy_xor_fma(std::uint8_t* dst, const std::uint8_t* src,
   if (c == 0) return;
   const std::size_t seg = bytes / 8;
   const auto rows = bit_rows(c);
+  // Segment lengths are validated above; fold each output bit-row's masked
+  // input segments through the batching accumulator (up to 4 per pass).
   for (unsigned r = 0; r < 8; ++r) {
     const std::uint8_t mask = rows[r];
-    auto out = util::ByteSpan(dst + r * seg, seg);
+    kern::XorAccumulator acc(dst + r * seg, seg);
     for (unsigned j = 0; j < 8; ++j) {
-      if (mask & (1u << j)) {
-        util::xor_into(out, util::ConstByteSpan(src + j * seg, seg));
-      }
+      if (mask & (1u << j)) acc.add(src + j * seg);
     }
   }
 }

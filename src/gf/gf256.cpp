@@ -31,6 +31,13 @@ GF256::Tables::Tables() {
   for (unsigned a = 1; a < 256; ++a) {
     inverse[a] = exp[255 - log[a]];
   }
+
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned x = 0; x < 16; ++x) {
+      nib_lo[c][x] = mul[c][x];
+      nib_hi[c][x] = mul[c][x << 4];
+    }
+  }
 }
 
 const GF256::Tables& GF256::tables() {
@@ -59,17 +66,15 @@ void GF256::fma_buffer(std::uint8_t* dst, const std::uint8_t* src,
                        std::size_t bytes, Element c) {
   if (c == 0) return;
   if (c == 1) {
-    util::xor_into(util::ByteSpan(dst, bytes), util::ConstByteSpan(src, bytes));
+    kern::xor_block(dst, src, bytes);
     return;
   }
-  const Element* row = tables().mul[c];
-  for (std::size_t i = 0; i < bytes; ++i) dst[i] ^= row[src[i]];
+  kern::gf256_fma_block(dst, src, bytes, mul_ctx(c));
 }
 
 void GF256::scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c) {
   if (c == 1) return;
-  const Element* row = tables().mul[c];
-  for (std::size_t i = 0; i < bytes; ++i) dst[i] = row[dst[i]];
+  kern::gf256_scale_block(dst, bytes, mul_ctx(c));
 }
 
 }  // namespace fountain::gf

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "kern/kernels.hpp"
 #include "util/symbols.hpp"
 
 namespace fountain::gf {
@@ -29,11 +30,21 @@ class GF256 {
   static Element exp(unsigned power) { return tables().exp[power % 255]; }
   static unsigned log(Element a);
 
-  /// dst ^= c * src over the whole buffer.
+  /// dst ^= c * src over the whole buffer. Routed through the dispatched
+  /// kern::gf256_fma_block (split-nibble PSHUFB/vqtbl1q on AVX2/NEON, full
+  /// 256-entry table lookup on scalar hosts).
   static void fma_buffer(std::uint8_t* dst, const std::uint8_t* src,
                          std::size_t bytes, Element c);
   /// dst *= c over the whole buffer.
   static void scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c);
+
+  /// The kernel-layer multiply context for constant `c`: the two 16-entry
+  /// split-nibble half-tables plus the full 256-entry row. Pointers stay
+  /// valid for the process lifetime.
+  static kern::Gf256Ctx mul_ctx(Element c) {
+    const Tables& t = tables();
+    return kern::Gf256Ctx{t.nib_lo[c], t.nib_hi[c], t.mul[c]};
+  }
 
  private:
   struct Tables {
@@ -41,6 +52,12 @@ class GF256 {
     std::uint16_t log[256];  // log[0] unused sentinel
     Element mul[256][256];
     Element inverse[256];
+    // Split-nibble half-tables: nib_lo[c][x] = c * x and
+    // nib_hi[c][x] = c * (x << 4) for x in [0, 16), so
+    // c * b = nib_lo[c][b & 0xf] ^ nib_hi[c][b >> 4] by linearity of the
+    // field multiply over GF(2).
+    Element nib_lo[256][16];
+    Element nib_hi[256][16];
     Tables();
   };
   static const Tables& tables();

@@ -91,8 +91,10 @@ class CauchyCodec {
     return gen_.at(parity_row, source_col);
   }
 
-  void encode(const util::SymbolMatrix& source,
-              util::SymbolMatrix& parity_out) const {
+  /// Views allow encoding straight out of / into row ranges of a larger
+  /// matrix (the Tornado tail encodes `encoding` rows in place with no
+  /// intermediate copies); SymbolMatrix arguments convert implicitly.
+  void encode(util::ConstSymbolView source, util::SymbolView parity_out) const {
     if (source.rows() != k_ || parity_out.rows() != parity_ ||
         source.symbol_size() != parity_out.symbol_size() ||
         source.symbol_size() % Field::kSymbolAlignment != 0) {
@@ -110,7 +112,7 @@ class CauchyCodec {
 
   /// Encodes a single parity symbol (used by the Tornado cascade tail, where
   /// a specific parity index is requested).
-  void encode_one(const util::SymbolMatrix& source, std::size_t parity_row,
+  void encode_one(util::ConstSymbolView source, std::size_t parity_row,
                   util::ByteSpan out) const {
     std::fill(out.begin(), out.end(), 0);
     for (std::size_t j = 0; j < k_; ++j) {
@@ -122,7 +124,7 @@ class CauchyCodec {
 
   /// Reconstructs missing source rows in place; see VandermondeCodec::decode
   /// for the contract. Uses the analytic O(x^2) Cauchy submatrix inverse.
-  void decode(util::SymbolMatrix& source, const std::vector<bool>& have_source,
+  void decode(util::SymbolView source, const std::vector<bool>& have_source,
               const std::vector<std::pair<std::uint32_t, util::ConstByteSpan>>&
                   parity) const {
     std::vector<std::uint32_t> missing;

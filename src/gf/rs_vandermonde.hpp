@@ -44,9 +44,9 @@ class VandermondeCodec {
     return gen_.at(parity_row, source_col);
   }
 
-  /// Computes all parity symbols from the full source block.
-  void encode(const util::SymbolMatrix& source,
-              util::SymbolMatrix& parity_out) const {
+  /// Computes all parity symbols from the full source block. Takes views so
+  /// callers can encode sub-ranges of a larger matrix in place.
+  void encode(util::ConstSymbolView source, util::SymbolView parity_out) const {
     check_shapes(source, parity_out);
     parity_out.fill_zero();
     for (std::size_t j = 0; j < k_; ++j) {
@@ -62,7 +62,7 @@ class VandermondeCodec {
   /// `have_source[j]` marks rows already present; `parity` lists received
   /// parity symbols as (parity index, payload). Requires at least as many
   /// parity symbols as missing source symbols.
-  void decode(util::SymbolMatrix& source, const std::vector<bool>& have_source,
+  void decode(util::SymbolView source, const std::vector<bool>& have_source,
               const std::vector<std::pair<std::uint32_t, util::ConstByteSpan>>&
                   parity) const {
     const auto missing = missing_indices(have_source);
@@ -138,8 +138,8 @@ class VandermondeCodec {
     }
   }
 
-  void check_shapes(const util::SymbolMatrix& source,
-                    const util::SymbolMatrix& parity) const {
+  void check_shapes(util::ConstSymbolView source,
+                    util::ConstSymbolView parity) const {
     if (source.rows() != k_ || parity.rows() != parity_) {
       throw std::invalid_argument("VandermondeCodec: row count mismatch");
     }

@@ -1,0 +1,65 @@
+// Batching XOR accumulator: queues source buffers destined for one output
+// buffer and folds them with the widest multi-source kernel available
+// (xor_block_4/3/2), so a degree-d fold reads dst ~d/4 times instead of d.
+// Used by the Tornado encoder (check = XOR of its neighbours) and the
+// decoder's substitution path (recovered packet = check XOR known
+// neighbours).
+//
+// Contract: all queued sources must be exactly `bytes` long and must remain
+// valid and unmodified until flush(); no size checks are performed (this is
+// a kern-layer class — callers validate shapes once per batch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kern/kernels.hpp"
+
+namespace fountain::kern {
+
+class XorAccumulator {
+ public:
+  XorAccumulator(std::uint8_t* dst, std::size_t bytes)
+      : dst_(dst), bytes_(bytes) {}
+
+  /// Not copyable: pending sources are tied to one dst.
+  XorAccumulator(const XorAccumulator&) = delete;
+  XorAccumulator& operator=(const XorAccumulator&) = delete;
+
+  ~XorAccumulator() { flush(); }
+
+  void add(const std::uint8_t* src) {
+    pending_[count_++] = src;
+    if (count_ == 4) flush();
+  }
+
+  /// Folds any queued sources into dst; safe to call repeatedly.
+  void flush() {
+    switch (count_) {
+      case 0:
+        break;
+      case 1:
+        xor_block(dst_, pending_[0], bytes_);
+        break;
+      case 2:
+        xor_block_2(dst_, pending_[0], pending_[1], bytes_);
+        break;
+      case 3:
+        xor_block_3(dst_, pending_[0], pending_[1], pending_[2], bytes_);
+        break;
+      default:
+        xor_block_4(dst_, pending_[0], pending_[1], pending_[2], pending_[3],
+                    bytes_);
+        break;
+    }
+    count_ = 0;
+  }
+
+ private:
+  std::uint8_t* dst_;
+  std::size_t bytes_;
+  const std::uint8_t* pending_[4] = {};
+  unsigned count_ = 0;
+};
+
+}  // namespace fountain::kern

@@ -1,0 +1,98 @@
+// Tier selection. The choice is made once (first call to ops()) and cached;
+// tests can re-pin it via set_isa_override. Order of preference:
+// AVX2 > SSE2 > NEON > scalar, subject to compile-time availability and a
+// runtime cpuid check for AVX2.
+#include "kern/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kern/kernels_impl.hpp"
+
+namespace fountain::kern {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+/// Env override: FOUNTAIN_FORCE_SCALAR=1 wins, then FOUNTAIN_FORCE_ISA.
+/// Unknown or unsupported requests fall through to auto-selection.
+const Ops* env_override() {
+  if (const char* v = std::getenv("FOUNTAIN_FORCE_SCALAR")) {
+    if (v[0] != '\0' && v[0] != '0') return &detail::scalar_ops();
+  }
+  if (const char* v = std::getenv("FOUNTAIN_FORCE_ISA")) {
+    if (std::strcmp(v, "scalar") == 0) return &detail::scalar_ops();
+    if (std::strcmp(v, "sse2") == 0) return ops_for(Isa::kSse2);
+    if (std::strcmp(v, "avx2") == 0) return ops_for(Isa::kAvx2);
+    if (std::strcmp(v, "neon") == 0) return ops_for(Isa::kNeon);
+  }
+  return nullptr;
+}
+
+const Ops* select() {
+  if (const Ops* forced = env_override()) return forced;
+  if (const Ops* o = ops_for(Isa::kAvx2)) return o;
+  if (const Ops* o = ops_for(Isa::kSse2)) return o;
+  if (const Ops* o = ops_for(Isa::kNeon)) return o;
+  return &detail::scalar_ops();
+}
+
+std::atomic<const Ops*> g_override{nullptr};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+const Ops* ops_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &detail::scalar_ops();
+    case Isa::kSse2:
+      return detail::sse2_ops();
+    case Isa::kAvx2:
+      return cpu_has_avx2() ? detail::avx2_ops() : nullptr;
+    case Isa::kNeon:
+      return detail::neon_ops();
+  }
+  return nullptr;
+}
+
+const Ops& ops() {
+  if (const Ops* forced = g_override.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  static const Ops* const selected = select();
+  return *selected;
+}
+
+Isa active_isa() { return ops().isa; }
+
+bool set_isa_override(Isa isa) {
+  const Ops* o = ops_for(isa);
+  if (o == nullptr) return false;
+  g_override.store(o, std::memory_order_release);
+  return true;
+}
+
+void clear_isa_override() {
+  g_override.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace fountain::kern

@@ -1,0 +1,108 @@
+// Runtime-dispatched byte-level kernels — the innermost loops of every code
+// in this library. The paper's speed claim (Tables 2/3) rests on the XOR
+// inner loop; this layer makes that loop, and the GF(2^8) multiply-accumulate
+// behind the Reed-Solomon codes, run as wide as the host allows.
+//
+// Dispatch: an implementation table (`Ops`) per instruction-set tier —
+// AVX2 -> SSE2 -> scalar on x86-64, NEON -> scalar on AArch64 — selected
+// once on first use (cpuid via __builtin_cpu_supports) and cached in a
+// function-pointer table. `FOUNTAIN_FORCE_SCALAR=1` (or
+// `FOUNTAIN_FORCE_ISA=scalar|sse2|avx2|neon`) overrides selection at process
+// start; `set_isa_override` does the same programmatically for tests.
+//
+// Contracts (all entry points): buffers are raw byte ranges of exactly
+// `n` bytes; NO size or alignment checks are performed — callers validate
+// shapes once per batch (the checked public API is `util::xor_into`).
+// Unaligned pointers are permitted (kernels use unaligned loads). `dst` may
+// equal a source pointer exactly (xor of a buffer with itself zeroes it);
+// partial overlap is undefined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fountain::kern {
+
+enum class Isa { kScalar, kSse2, kAvx2, kNeon };
+
+const char* isa_name(Isa isa);
+
+/// Per-constant GF(2^8) multiply context. `lo[x] = c * x` and
+/// `hi[x] = c * (x << 4)` for x in [0, 16) are the two PSHUFB/vqtbl1q
+/// half-tables of the split-nibble technique (Plank et al. / ISA-L);
+/// `full[x] = c * x` for x in [0, 256) serves the scalar path and tails.
+/// All three point into tables owned by gf::GF256 and stay valid for the
+/// process lifetime.
+struct Gf256Ctx {
+  const std::uint8_t* lo;
+  const std::uint8_t* hi;
+  const std::uint8_t* full;
+};
+
+/// One implementation tier: every kernel the layer exposes, as plain
+/// function pointers so the selected tier is a single indirect call.
+struct Ops {
+  Isa isa;
+  /// dst ^= a
+  void (*xor_block)(std::uint8_t* dst, const std::uint8_t* a, std::size_t n);
+  /// dst ^= a ^ b — folds two sources per pass over dst (half the dst
+  /// traffic of two xor_block calls); _3/_4 fold three/four.
+  void (*xor_block_2)(std::uint8_t* dst, const std::uint8_t* a,
+                      const std::uint8_t* b, std::size_t n);
+  void (*xor_block_3)(std::uint8_t* dst, const std::uint8_t* a,
+                      const std::uint8_t* b, const std::uint8_t* c,
+                      std::size_t n);
+  void (*xor_block_4)(std::uint8_t* dst, const std::uint8_t* a,
+                      const std::uint8_t* b, const std::uint8_t* c,
+                      const std::uint8_t* d, std::size_t n);
+  /// dst ^= c * src over GF(2^8), c described by `ctx`.
+  void (*gf256_fma)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    const Gf256Ctx& ctx);
+  /// dst *= c over GF(2^8).
+  void (*gf256_scale)(std::uint8_t* dst, std::size_t n, const Gf256Ctx& ctx);
+};
+
+/// The active tier (selected once, then cached; see file comment).
+const Ops& ops();
+
+/// The tier's table if it is compiled in AND supported by this CPU, else
+/// nullptr. `kScalar` always succeeds. Used by the differential tests and
+/// the micro benches to exercise every tier explicitly.
+const Ops* ops_for(Isa isa);
+
+Isa active_isa();
+
+/// Test/bench hook: force a specific tier (must be supported — returns false
+/// and leaves the selection unchanged otherwise).
+bool set_isa_override(Isa isa);
+void clear_isa_override();
+
+// Dispatched convenience wrappers.
+inline void xor_block(std::uint8_t* dst, const std::uint8_t* a,
+                      std::size_t n) {
+  ops().xor_block(dst, a, n);
+}
+inline void xor_block_2(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, std::size_t n) {
+  ops().xor_block_2(dst, a, b, n);
+}
+inline void xor_block_3(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, const std::uint8_t* c,
+                        std::size_t n) {
+  ops().xor_block_3(dst, a, b, c, n);
+}
+inline void xor_block_4(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, const std::uint8_t* c,
+                        const std::uint8_t* d, std::size_t n) {
+  ops().xor_block_4(dst, a, b, c, d, n);
+}
+inline void gf256_fma_block(std::uint8_t* dst, const std::uint8_t* src,
+                            std::size_t n, const Gf256Ctx& ctx) {
+  ops().gf256_fma(dst, src, n, ctx);
+}
+inline void gf256_scale_block(std::uint8_t* dst, std::size_t n,
+                              const Gf256Ctx& ctx) {
+  ops().gf256_scale(dst, n, ctx);
+}
+
+}  // namespace fountain::kern

@@ -1,0 +1,132 @@
+// AVX2 tier. This translation unit is compiled with -mavx2 (see the
+// top-level CMakeLists.txt) and must only be entered after the dispatcher
+// has confirmed AVX2 via cpuid — nothing here may be called on a non-AVX2
+// machine.
+//
+// XOR: 32-byte lanes, two accumulators per iteration. GF(2^8): the
+// split-nibble PSHUFB technique (Plank/Greenan/Miller, "Screaming Fast
+// Galois Field Arithmetic"; also ISA-L) — the product c*x is
+// lo_table[x & 0xf] ^ hi_table[x >> 4], so VPSHUFB evaluates 32 byte
+// products per instruction pair from two 16-entry half-tables.
+#include "kern/kernels_impl.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace fountain::kern::detail {
+
+namespace {
+
+inline __m256i load(const std::uint8_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(std::uint8_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void xor1(std::uint8_t* dst, const std::uint8_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i, _mm256_xor_si256(load(dst + i), load(a + i)));
+    store(dst + i + 32,
+          _mm256_xor_si256(load(dst + i + 32), load(a + i + 32)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    store(dst + i, _mm256_xor_si256(load(dst + i), load(a + i)));
+  }
+  if (i < n) scalar_xor(dst + i, a + i, n - i);
+}
+
+void xor2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    store(dst + i, _mm256_xor_si256(load(dst + i), _mm256_xor_si256(
+                                                       load(a + i),
+                                                       load(b + i))));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor3(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i ab = _mm256_xor_si256(load(a + i), load(b + i));
+    store(dst + i, _mm256_xor_si256(load(dst + i),
+                                    _mm256_xor_si256(ab, load(c + i))));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i]);
+}
+
+void xor4(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, const std::uint8_t* d, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i ab = _mm256_xor_si256(load(a + i), load(b + i));
+    const __m256i cd = _mm256_xor_si256(load(c + i), load(d + i));
+    store(dst + i, _mm256_xor_si256(load(dst + i), _mm256_xor_si256(ab, cd)));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i]);
+  }
+}
+
+/// Broadcasts a 16-entry half-table into both 128-bit lanes so VPSHUFB
+/// performs the same 16-way lookup in each lane.
+inline __m256i half_table(const std::uint8_t* t) {
+  return _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t)));
+}
+
+/// prod[j] = ctx.lo[x_j & 0xf] ^ ctx.hi[x_j >> 4] for the 32 bytes of x.
+inline __m256i gf_mul32(__m256i x, __m256i lo_tbl, __m256i hi_tbl,
+                        __m256i nib_mask) {
+  const __m256i lo = _mm256_and_si256(x, nib_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), nib_mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(lo_tbl, lo),
+                          _mm256_shuffle_epi8(hi_tbl, hi));
+}
+
+void gf256_fma(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+               const Gf256Ctx& ctx) {
+  const __m256i lo_tbl = half_table(ctx.lo);
+  const __m256i hi_tbl = half_table(ctx.hi);
+  const __m256i nib_mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i prod = gf_mul32(load(src + i), lo_tbl, hi_tbl, nib_mask);
+    store(dst + i, _mm256_xor_si256(load(dst + i), prod));
+  }
+  if (i < n) scalar_gf256_fma(dst + i, src + i, n - i, ctx);
+}
+
+void gf256_scale(std::uint8_t* dst, std::size_t n, const Gf256Ctx& ctx) {
+  const __m256i lo_tbl = half_table(ctx.lo);
+  const __m256i hi_tbl = half_table(ctx.hi);
+  const __m256i nib_mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    store(dst + i, gf_mul32(load(dst + i), lo_tbl, hi_tbl, nib_mask));
+  }
+  if (i < n) scalar_gf256_scale(dst + i, n - i, ctx);
+}
+
+constexpr Ops kOps = {Isa::kAvx2, &xor1,      &xor2,        &xor3,
+                      &xor4,      &gf256_fma, &gf256_scale};
+
+}  // namespace
+
+const Ops* avx2_ops() { return &kOps; }
+
+}  // namespace fountain::kern::detail
+
+#else  // built without -mavx2 (non-x86 target, or compiler without support)
+
+namespace fountain::kern::detail {
+const Ops* avx2_ops() { return nullptr; }
+}  // namespace fountain::kern::detail
+
+#endif

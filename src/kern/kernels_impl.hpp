@@ -1,0 +1,22 @@
+// Internal: per-tier implementation tables. Each kernels_<isa>.cpp defines
+// its accessor; tiers not compiled for the target architecture return
+// nullptr so the dispatcher (kernels.cpp) can probe them unconditionally.
+// Not installed / not for use outside src/kern.
+#pragma once
+
+#include "kern/kernels.hpp"
+
+namespace fountain::kern::detail {
+
+const Ops& scalar_ops();   // always available
+const Ops* sse2_ops();     // x86-64 only (SSE2 is the x86-64 baseline)
+const Ops* avx2_ops();     // x86-64 built with -mavx2; needs runtime cpuid
+const Ops* neon_ops();     // AArch64 only
+
+// Shared scalar helpers, also used by the SIMD tiers for sub-register tails.
+void scalar_xor(std::uint8_t* dst, const std::uint8_t* a, std::size_t n);
+void scalar_gf256_fma(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, const Gf256Ctx& ctx);
+void scalar_gf256_scale(std::uint8_t* dst, std::size_t n, const Gf256Ctx& ctx);
+
+}  // namespace fountain::kern::detail

@@ -1,0 +1,89 @@
+// Scalar reference tier: word-at-a-time XOR (the seed's original kernel) and
+// the full-table GF(2^8) loop. This tier defines the semantics every SIMD
+// tier must reproduce bit-for-bit (see tests/test_kernels.cpp).
+#include <cstring>
+
+#include "kern/kernels_impl.hpp"
+
+namespace fountain::kern::detail {
+
+namespace {
+
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, 8);
+  return w;
+}
+
+inline void store64(std::uint8_t* p, std::uint64_t w) {
+  std::memcpy(p, &w, 8);
+}
+
+void xor1(std::uint8_t* dst, const std::uint8_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) store64(dst + i, load64(dst + i) ^ load64(a + i));
+  for (; i < n; ++i) dst[i] ^= a[i];
+}
+
+void xor2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor3(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store64(dst + i,
+            load64(dst + i) ^ load64(a + i) ^ load64(b + i) ^ load64(c + i));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i]);
+}
+
+void xor4(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, const std::uint8_t* d, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i) ^
+                         load64(c + i) ^ load64(d + i));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i]);
+  }
+}
+
+void gf256_fma(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+               const Gf256Ctx& ctx) {
+  const std::uint8_t* row = ctx.full;
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void gf256_scale(std::uint8_t* dst, std::size_t n, const Gf256Ctx& ctx) {
+  const std::uint8_t* row = ctx.full;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+constexpr Ops kOps = {Isa::kScalar, &xor1, &xor2, &xor3, &xor4,
+                      &gf256_fma,   &gf256_scale};
+
+}  // namespace
+
+const Ops& scalar_ops() { return kOps; }
+
+void scalar_xor(std::uint8_t* dst, const std::uint8_t* a, std::size_t n) {
+  xor1(dst, a, n);
+}
+void scalar_gf256_fma(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, const Gf256Ctx& ctx) {
+  gf256_fma(dst, src, n, ctx);
+}
+void scalar_gf256_scale(std::uint8_t* dst, std::size_t n,
+                        const Gf256Ctx& ctx) {
+  gf256_scale(dst, n, ctx);
+}
+
+}  // namespace fountain::kern::detail

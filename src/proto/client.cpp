@@ -174,7 +174,7 @@ bool StatisticalDataClient::try_decode() {
   return decoder_->complete();
 }
 
-const util::SymbolMatrix& StatisticalDataClient::source() const {
+util::ConstSymbolView StatisticalDataClient::source() const {
   if (!complete_ || !decoder_) {
     throw std::logic_error("StatisticalDataClient: not complete");
   }

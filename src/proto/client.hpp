@@ -94,7 +94,7 @@ class StatisticalDataClient {
   bool complete() const { return complete_; }
   std::size_t decode_attempts() const { return attempts_; }
   std::size_t distinct_received() const { return distinct_; }
-  const util::SymbolMatrix& source() const;
+  util::ConstSymbolView source() const;
 
  private:
   bool try_decode();

@@ -96,7 +96,7 @@ util::SymbolMatrix file_to_symbols(util::ConstByteSpan bytes,
   return symbols;
 }
 
-std::vector<std::uint8_t> symbols_to_file(const util::SymbolMatrix& symbols,
+std::vector<std::uint8_t> symbols_to_file(util::ConstSymbolView symbols,
                                           std::uint64_t file_bytes) {
   if (file_bytes > symbols.size_bytes()) {
     throw std::invalid_argument("symbols_to_file: length exceeds data");

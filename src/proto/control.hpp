@@ -45,7 +45,7 @@ util::SymbolMatrix file_to_symbols(util::ConstByteSpan bytes,
                                    std::size_t symbol_size);
 
 /// Reassembles the original byte stream (drops the padding).
-std::vector<std::uint8_t> symbols_to_file(const util::SymbolMatrix& symbols,
+std::vector<std::uint8_t> symbols_to_file(util::ConstSymbolView symbols,
                                           std::uint64_t file_bytes);
 
 /// Builds the control info a server would advertise for this file.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kern/kernels.hpp"
 #include "util/random.hpp"
 
 namespace fountain::util {
@@ -12,19 +13,7 @@ void xor_into(ByteSpan dst, ConstByteSpan src) {
   if (dst.size() != src.size()) {
     throw std::invalid_argument("xor_into: size mismatch");
   }
-  std::size_t i = 0;
-  const std::size_t n = dst.size();
-  // Word-at-a-time main loop; memcpy keeps it strict-aliasing clean and
-  // compiles to plain 64-bit loads/stores.
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, dst.data() + i, 8);
-    std::memcpy(&b, src.data() + i, 8);
-    a ^= b;
-    std::memcpy(dst.data() + i, &a, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  kern::xor_block(dst.data(), src.data(), dst.size());
 }
 
 void SymbolMatrix::fill_zero() { std::fill(data_.begin(), data_.end(), 0); }
