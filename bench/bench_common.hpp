@@ -73,6 +73,8 @@ struct JsonRecord {
                         // timing window; the table benches take a median)
   double mb_per_s = 0;  // payload throughput (0 when not meaningful)
   double symbols_per_s = 0;  // packet rate (0 when not meaningful)
+  double value = 0;     // dimensionless metric (efficiency eta, overhead
+                        // fraction, receivers/s; 0 when not meaningful)
 };
 
 /// Appends records to the JSON perf log as JSON Lines (one object per line;
@@ -92,9 +94,10 @@ inline void append_json(const std::vector<JsonRecord>& records) {
   for (const auto& r : records) {
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"name\":\"%s\",\"kernel\":\"%s\","
-                 "\"seconds\":%.9g,\"mb_per_s\":%.6g,\"symbols_per_s\":%.6g}\n",
+                 "\"seconds\":%.9g,\"mb_per_s\":%.6g,\"symbols_per_s\":%.6g,"
+                 "\"value\":%.6g}\n",
                  r.bench.c_str(), r.name.c_str(), r.kernel.c_str(), r.seconds,
-                 r.mb_per_s, r.symbols_per_s);
+                 r.mb_per_s, r.symbols_per_s, r.value);
   }
   std::fclose(f);
   std::printf("\n[%zu records appended to %s]\n", records.size(), path);

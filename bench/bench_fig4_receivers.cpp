@@ -23,10 +23,12 @@ namespace {
 
 using namespace fountain;
 
+std::vector<bench::JsonRecord> g_records;
+
 std::vector<double> efficiency_pool(const fec::ErasureCode& code,
                                     const carousel::Carousel& carousel,
                                     double p, std::size_t trials,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, const char* label) {
   const auto results = sim::sample_carousel_receptions(
       code, carousel,
       [p](std::size_t, util::Rng& rng) {
@@ -38,6 +40,12 @@ std::vector<double> efficiency_pool(const fec::ErasureCode& code,
   for (const auto& r : results) {
     pool.push_back(r.efficiency(code.source_count()));
   }
+  bench::JsonRecord record;
+  record.bench = "fig4_receivers";
+  record.name = std::string("eta_avg/p=") + (p < 0.3 ? "0.1" : "0.5");
+  record.kernel = label;
+  record.value = sim::mean_of(pool);
+  g_records.push_back(record);
   return pool;
 }
 
@@ -72,11 +80,11 @@ int main() {
                 "I20 worst");
     bench::print_rule(88);
     const auto pool_t = efficiency_pool(tornado, tornado_carousel, p,
-                                        pool_size, 100 + p * 10);
+                                        pool_size, 100 + p * 10, "tornado_a");
     const auto pool_50 = efficiency_pool(inter50, inter50_carousel, p,
-                                         pool_size, 200 + p * 10);
+                                         pool_size, 200 + p * 10, "inter50");
     const auto pool_20 = efficiency_pool(inter20, inter20_carousel, p,
-                                         pool_size, 300 + p * 10);
+                                         pool_size, 300 + p * 10, "inter20");
     util::Rng rng(77);
     for (const std::size_t receivers : {1ul, 10ul, 100ul, 1000ul, 10000ul}) {
       std::printf("%-10zu %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
@@ -93,5 +101,6 @@ int main() {
               "degrades with\npopulation size; interleaved efficiency decays "
               "with receivers, is much worse at\nsmaller blocks (k=20) and "
               "collapses at p = 0.5.\n");
+  bench::append_json(g_records);
   return 0;
 }

@@ -5,6 +5,7 @@
 // is flat in file size.
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "carousel/carousel.hpp"
@@ -21,6 +22,8 @@ struct Row {
   double avg;
   double min;
 };
+
+std::vector<bench::JsonRecord> g_records;
 
 Row measure(const fec::ErasureCode& code, const carousel::Carousel& carousel,
             double p, std::size_t pool_size, std::size_t receivers,
@@ -76,11 +79,24 @@ int main() {
 
       std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n", label,
                   rt.avg, rt.min, r50.avg, r50.min, r20.avg, r20.min);
+      const std::string suffix =
+          std::string("/p=") + (p < 0.3 ? "0.1" : "0.5") + "/" + label;
+      const std::pair<const char*, const Row*> rows[] = {
+          {"tornado_a", &rt}, {"inter50", &r50}, {"inter20", &r20}};
+      for (const auto& [kernel, row] : rows) {
+        bench::JsonRecord record;
+        record.bench = "fig5_filesize";
+        record.name = "eta_avg" + suffix;
+        record.kernel = kernel;
+        record.value = row->avg;
+        g_records.push_back(record);
+      }
     }
     std::printf("\n");
   }
   std::printf("Shape check vs paper: interleaved avg and min efficiency fall "
               "as the file\ngrows (coupon collector over more blocks); "
               "Tornado stays flat.\n");
+  bench::append_json(g_records);
   return 0;
 }

@@ -23,6 +23,24 @@ namespace {
 
 using namespace fountain;
 
+std::vector<bench::JsonRecord> g_records;
+
+void record_mean_eta(const char* name, const proto::SessionResult& result) {
+  double eta = 0.0;
+  std::size_t completed = 0;
+  for (const auto& r : result.receivers) {
+    if (!r.completed) continue;
+    eta += r.eta;
+    ++completed;
+  }
+  bench::JsonRecord record;
+  record.bench = "fig8_prototype";
+  record.name = name;
+  record.kernel = "tornado_a";
+  record.value = completed == 0 ? 0.0 : eta / static_cast<double>(completed);
+  g_records.push_back(record);
+}
+
 }  // namespace
 
 int main() {
@@ -50,6 +68,7 @@ int main() {
       clients.push_back(c);
     }
     const auto result = proto::run_session(code, cfg, clients, 5, 4000000);
+    record_mean_eta("eta_mean/single_layer", result);
     for (const auto& r : result.receivers) {
       std::printf("%-12.1f %10.1f %10.1f %10.1f%s\n",
                   100.0 * r.observed_loss, 100.0 * r.eta_d, 100.0 * r.eta_c,
@@ -77,6 +96,7 @@ int main() {
       clients.push_back(c);
     }
     auto result = proto::run_session(code, cfg, clients, 6, 4000000);
+    record_mean_eta("eta_mean/four_layer", result);
     std::sort(result.receivers.begin(), result.receivers.end(),
               [](const auto& a, const auto& b) {
                 return a.observed_loss < b.observed_loss;
@@ -93,5 +113,6 @@ int main() {
               "with 4 layers, subscription changes\ncost distinctness "
               "efficiency, yet total efficiency stays high (>75-80%%) even\n"
               "past 30%% loss.\n");
+  bench::append_json(g_records);
   return 0;
 }

@@ -1,0 +1,119 @@
+// Engine scale exercise: one discrete-event session carrying a six-figure
+// receiver population — the regime the ROADMAP's "millions of users" north
+// star points at and the lockstep loops could not touch. Every receiver is
+// heterogeneous: its own Gilbert-Elliott burst-loss channel (rates 1-40%,
+// bursts 1.5-20 packets), its own join phase spread over two carousel
+// cycles, a tenth of them suffering a mid-session loss-regime change and a
+// twentieth leaving early (churn). Cohort batching keeps memory at
+// O(cohort_size) decoders regardless of population.
+//
+//   FOUNTAIN_POP_RX=100000 FOUNTAIN_POP_K=1024 ./bench_population_scale
+//
+// FOUNTAIN_BENCH_QUICK=1 shrinks the population to a smoke-test footprint.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "carousel/carousel.hpp"
+#include "core/tornado.hpp"
+#include "engine/session.hpp"
+#include "engine/sources.hpp"
+#include "net/loss.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace fountain;
+
+  const std::size_t receivers = bench::env_size(
+      "FOUNTAIN_POP_RX", bench::quick_mode() ? 5000 : 100000);
+  const std::size_t k = bench::env_size("FOUNTAIN_POP_K", 1024);
+
+  core::TornadoCode code(core::TornadoParams::tornado_a(k, 2, 41));
+  util::Rng rng(4242);
+  const auto carousel =
+      carousel::Carousel::random_permutation(code.encoded_count(), rng);
+  const std::uint64_t cycle = carousel.cycle_length();
+
+  std::printf("population scale: %zu structural receivers, k = %zu "
+              "(n = %zu), heterogeneous\nGilbert-Elliott loss, staggered "
+              "joins, 10%% mid-session regime changes, 5%% churn\n\n",
+              receivers, k, code.encoded_count());
+
+  engine::SessionConfig config;
+  config.horizon = 400ull * cycle;
+  engine::Session session(code, config);
+  // Batched firings (32 slots per event) keep the event queue off the
+  // per-packet path; joins land on the same grid.
+  constexpr std::uint64_t kBatch = 32;
+  const engine::SourceId src = session.add_source(
+      std::make_shared<engine::CarouselSource>(carousel, code.codec_id(),
+                                               kBatch),
+      /*start=*/0, /*period=*/kBatch);
+
+  std::size_t leavers = 0;
+  for (std::size_t r = 0; r < receivers; ++r) {
+    engine::ReceiverSpec spec;
+    spec.join = rng.below(2 * cycle / kBatch) * kBatch;
+    if (r % 20 == 19) {  // churn: departs after roughly half a cycle
+      spec.leave = spec.join + cycle / 2;
+      ++leavers;
+    }
+    const engine::ReceiverId id = session.add_receiver(std::move(spec));
+
+    const double rate = 0.01 + 0.39 * rng.uniform();
+    const double burst = 1.5 + 18.5 * rng.uniform();
+    auto link = std::make_unique<engine::LossLink>(
+        std::make_unique<net::GilbertElliottLoss>(rate, burst, rng()));
+    if (r % 10 == 9) {  // regime change: the loss rate halves or doubles
+      // (capped at 0.5 so the chain stays feasible at the shortest bursts)
+      const double rate2 = r % 20 == 9 ? rate * 0.5 : std::min(0.5, rate * 2);
+      link->add_regime(spec.join + cycle,
+                       std::make_unique<net::GilbertElliottLoss>(
+                           rate2, burst, rng()));
+    }
+    session.subscribe(id, src, std::move(link));
+  }
+
+  util::WallTimer timer;
+  const auto reports = session.run();
+  const double elapsed = timer.seconds();
+
+  util::RunningStats eta;
+  std::uint64_t packets = 0;
+  std::size_t completed = 0;
+  for (const auto& rep : reports) {
+    packets += rep.addressed;
+    if (!rep.completed) continue;
+    ++completed;
+    eta.add(rep.efficiency(k));
+  }
+
+  std::printf("completed: %zu / %zu (%zu deliberate leavers)\n", completed,
+              receivers, leavers);
+  std::printf("eta: mean %.3f  min %.3f  max %.3f\n", eta.mean(), eta.min(),
+              eta.max());
+  std::printf("wall time: %.2f s  (%.0f receivers/s, %.1f M packet events/s)"
+              "\n",
+              elapsed, static_cast<double>(receivers) / elapsed,
+              static_cast<double>(packets) / elapsed / 1e6);
+
+  std::vector<bench::JsonRecord> records;
+  bench::JsonRecord rate_record;
+  rate_record.bench = "population_scale";
+  rate_record.name = "receivers_per_s";
+  rate_record.kernel = "tornado_a";
+  rate_record.seconds = elapsed;
+  rate_record.value = static_cast<double>(receivers) / elapsed;
+  records.push_back(rate_record);
+  bench::JsonRecord eta_record;
+  eta_record.bench = "population_scale";
+  eta_record.name = "eta_mean";
+  eta_record.kernel = "tornado_a";
+  eta_record.value = eta.mean();
+  records.push_back(eta_record);
+  bench::append_json(records);
+
+  // Sanity: everyone who stayed should have finished inside the horizon.
+  return completed + leavers == receivers ? 0 : 1;
+}

@@ -42,7 +42,7 @@ double interleaved_overhead_p99(std::size_t total, std::size_t blocks,
       trials, seed);
   util::SampleSet overheads;
   for (const auto& r : results) {
-    overheads.add(static_cast<double>(r.packets_received) /
+    overheads.add(static_cast<double>(r.received) /
                       static_cast<double>(total) -
                   1.0);
   }

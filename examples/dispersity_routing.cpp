@@ -1,39 +1,69 @@
 // Section 8 extension: dispersity routing (after Rabin's information
 // dispersal). A source feeds digital-fountain packets down several network
-// paths with different delays and loss rates; the destination reconstructs
-// as soon as *any* sufficient mixture of packets arrives, regardless of
-// which paths delivered them. Congested paths delay packets but cannot stall
-// the transfer.
+// paths with different latencies, pacing rates and loss; the destination
+// reconstructs as soon as *any* sufficient mixture of packets arrives,
+// regardless of which paths delivered them. Congested paths delay packets
+// but cannot stall the transfer.
 //
 //   $ ./dispersity_routing [paths]
 //
-// Simulated as a packet-level event queue: path p has per-packet latency
-// L_p, jitter and loss; the destination consumes arrivals in delivery-time
-// order.
+// An engine scenario: path p is a StridedCarouselSource (every p-th packet
+// of the dealt permutation) whose period models pacing and whose start tick
+// models propagation latency; the destination is one receiver subscribed to
+// all paths, draining them through per-path lossy links into a payload
+// DataSink. One tick = 0.05 ms.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "carousel/carousel.hpp"
 #include "core/tornado.hpp"
+#include "engine/session.hpp"
+#include "engine/sources.hpp"
 #include "net/loss.hpp"
 #include "util/random.hpp"
 
 namespace {
 
-struct Arrival {
-  double time;
-  std::uint32_t index;
-  unsigned path;
-  bool operator>(const Arrival& other) const { return time > other.time; }
-};
+using namespace fountain;
+
+constexpr double kTickMs = 0.05;
+
+std::uint64_t ticks(double ms) {
+  return static_cast<std::uint64_t>(ms / kTickMs + 0.5);
+}
 
 struct Path {
   double latency_ms;
-  double jitter_ms;
   double send_interval_ms;  // pacing (inverse bandwidth)
   double loss_rate;
+};
+
+/// DataSink plus per-path delivery accounting.
+class CountingSink final : public engine::PacketSink {
+ public:
+  CountingSink(std::unique_ptr<fec::IncrementalDecoder> decoder,
+               util::ConstSymbolView encoding, std::size_t paths)
+      : inner_(std::move(decoder), encoding), per_path_(paths, 0) {}
+
+  bool on_packet(const engine::Delivery& d) override {
+    ++per_path_[d.source];
+    return inner_.on_packet(d);
+  }
+  bool complete() const override { return inner_.complete(); }
+  void reset() override {
+    inner_.reset();
+    std::fill(per_path_.begin(), per_path_.end(), 0);
+  }
+
+  util::ConstSymbolView source() const { return inner_.source(); }
+  const std::vector<std::size_t>& per_path() const { return per_path_; }
+
+ private:
+  engine::DataSink inner_;
+  std::vector<std::size_t> per_path_;
 };
 
 }  // namespace
@@ -54,12 +84,8 @@ int main(int argc, char** argv) {
   std::vector<Path> paths;
   util::Rng rng(17);
   for (unsigned p = 0; p < path_count; ++p) {
-    Path path;
-    path.latency_ms = 10.0 + 40.0 * p;
-    path.jitter_ms = 2.0 + 3.0 * p;
-    path.send_interval_ms = 0.4 + 0.2 * p;
-    path.loss_rate = p + 1 == path_count ? 0.30 : 0.02 + 0.04 * p;
-    paths.push_back(path);
+    paths.push_back(Path{10.0 + 40.0 * p, 0.4 + 0.2 * p,
+                         p + 1 == path_count ? 0.30 : 0.02 + 0.04 * p});
   }
 
   std::printf("dispersity routing: %zu-packet file over %u paths\n", k,
@@ -73,49 +99,44 @@ int main(int argc, char** argv) {
 
   // The source deals distinct encoding packets round-robin across paths (a
   // digital fountain does not care which packets go where).
-  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> queue;
-  std::vector<std::unique_ptr<net::LossModel>> loss;
-  std::vector<double> next_send(path_count, 0.0);
+  const auto order =
+      carousel::Carousel::random_permutation(code.encoded_count(), rng);
+
+  engine::SessionConfig config;
+  config.horizon = ticks(60000.0);  // one simulated minute is ample
+  engine::Session session(code, config);
+
+  engine::ReceiverSpec spec;
+  spec.sink = std::make_unique<CountingSink>(code.make_decoder(), encoding,
+                                             path_count);
+  auto* sink = static_cast<CountingSink*>(spec.sink.get());
+  const engine::ReceiverId dest = session.add_receiver(std::move(spec));
+
   for (unsigned p = 0; p < path_count; ++p) {
-    loss.push_back(std::make_unique<net::BernoulliLoss>(paths[p].loss_rate,
-                                                        rng()));
-  }
-  const auto order = rng.permutation(code.encoded_count());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const unsigned p = static_cast<unsigned>(i % path_count);
-    next_send[p] += paths[p].send_interval_ms;
-    if (loss[p]->lost()) continue;
-    const double delivery = next_send[p] + paths[p].latency_ms +
-                            paths[p].jitter_ms * rng.uniform();
-    queue.push(Arrival{delivery, order[i], p});
+    const engine::SourceId src = session.add_source(
+        std::make_shared<engine::StridedCarouselSource>(
+            order, code.codec_id(), p, path_count),
+        /*start=*/ticks(paths[p].send_interval_ms + paths[p].latency_ms),
+        /*period=*/ticks(paths[p].send_interval_ms));
+    session.subscribe(dest, src,
+                      std::make_unique<engine::LossLink>(
+                          std::make_unique<net::BernoulliLoss>(
+                              paths[p].loss_rate, rng())));
   }
 
-  auto decoder = code.make_decoder();
-  std::vector<std::size_t> per_path(path_count, 0);
-  std::size_t received = 0;
-  double finish_time = 0.0;
-  while (!queue.empty()) {
-    const Arrival a = queue.top();
-    queue.pop();
-    ++received;
-    ++per_path[a.path];
-    if (decoder->add_symbol(a.index, encoding.row(a.index))) {
-      finish_time = a.time;
-      break;
-    }
-  }
-
-  if (!decoder->complete() || decoder->source() != file) {
+  const auto report = session.run().front();
+  if (!report.completed || sink->source() != file) {
     std::printf("reconstruction FAILED\n");
     return 1;
   }
-  std::printf("\nreconstructed at t = %.1f ms from %zu packets "
+  std::printf("\nreconstructed at t = %.1f ms from %llu packets "
               "(overhead %.2f%%)\n",
-              finish_time, received,
-              100.0 * (static_cast<double>(received) / k - 1.0));
+              static_cast<double>(report.completed_at) * kTickMs,
+              static_cast<unsigned long long>(report.received),
+              100.0 * (static_cast<double>(report.received) / k - 1.0));
   std::printf("per-path contributions:");
   for (unsigned p = 0; p < path_count; ++p) {
-    std::printf(" path%u=%zu", p, per_path[p]);
+    std::printf(" path%u=%zu", p, sink->per_path()[p]);
   }
   std::printf("\npackets from every path were interchangeable — congested "
               "paths only delayed\ntheir share, they could not stall the "

@@ -1,9 +1,11 @@
-// The Section 7 prototype as a runnable simulation: a digital-fountain
-// server distributing a 2 MB file across 4 multicast layers, with receivers
-// that probe for capacity during bursts, join layers at synchronization
-// points and back off under congestion.
+// The Section 7 prototype as an engine scenario: a digital-fountain server
+// distributing a 2 MB file across 4 multicast layers to receivers that probe
+// for capacity during bursts, join layers at synchronization points and back
+// off under congestion. Receivers join the session asynchronously (a third
+// of them tune in mid-transfer), which the old lockstep round loop could not
+// express.
 //
-//   $ ./layered_session [receivers]
+//   $ ./layered_session [receivers] [max_rounds]
 //
 // Prints one line per receiver: observed loss, subscription moves, and the
 // three efficiency metrics of Section 7.3 (eta = eta_c * eta_d).
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace fountain;
 
   const std::size_t receivers = argc > 1 ? std::atoi(argv[1]) : 12;
+  const std::uint64_t max_rounds = argc > 2 ? std::atoll(argv[2]) : 2000000;
 
   // The paper's prototype encoding: ~2 MB -> 8264 packets of 500 bytes.
   const std::size_t k = 4132;
@@ -35,19 +38,23 @@ int main(int argc, char** argv) {
     c.initial_level = 0;
     c.initial_capacity = static_cast<unsigned>(rng.below(cfg.layers));
     c.capacity_change_prob = 0.01;
+    // Every third receiver joins the running session later (asynchronous
+    // access — the digital fountain's whole point).
+    if (i % 3 == 2) c.join = 200 + rng.below(800);
     clients.push_back(c);
   }
 
   std::printf("layered digital fountain: %zu receivers, 4 layers, k = %zu "
               "packets of 500 B (n = %zu)\n\n",
               receivers, k, code.encoded_count());
-  const auto result = proto::run_session(code, cfg, clients, 3, 2000000);
+  const auto result = proto::run_session(code, cfg, clients, 3, max_rounds);
 
-  std::printf("%-4s %9s %7s %8s %8s %8s %10s\n", "rx", "loss(%)", "moves",
-              "eta_d", "eta_c", "eta", "rounds");
+  std::printf("%-4s %6s %9s %7s %8s %8s %8s %10s\n", "rx", "join", "loss(%)",
+              "moves", "eta_d", "eta_c", "eta", "rounds");
   for (std::size_t i = 0; i < result.receivers.size(); ++i) {
     const auto& r = result.receivers[i];
-    std::printf("%-4zu %9.1f %7u %8.3f %8.3f %8.3f %10llu%s\n", i,
+    std::printf("%-4zu %6llu %9.1f %7u %8.3f %8.3f %8.3f %10llu%s\n", i,
+                static_cast<unsigned long long>(clients[i].join),
                 100.0 * r.observed_loss, r.level_changes, r.eta_d, r.eta_c,
                 r.eta,
                 static_cast<unsigned long long>(r.rounds_to_complete),

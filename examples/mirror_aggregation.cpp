@@ -7,15 +7,20 @@
 //
 //   $ ./mirror_aggregation [mirrors]
 //
-// The paper notes the caveat: at small stretch factors duplicate packets
-// across mirrors eventually collide. The run prints the measured duplicate
-// fraction so the effect is visible.
+// An engine scenario: one CarouselSource per mirror, one receiver subscribed
+// to all of them through per-mirror lossy links, draining into a payload
+// DataSink. The engine's distinct-packet accounting makes the paper's caveat
+// visible: at small stretch factors duplicate packets across mirrors
+// eventually collide, and the run prints the measured duplicate fraction.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "carousel/carousel.hpp"
 #include "core/tornado.hpp"
+#include "engine/session.hpp"
+#include "engine/sources.hpp"
 #include "net/loss.hpp"
 #include "proto/control.hpp"
 #include "util/random.hpp"
@@ -45,50 +50,54 @@ int main(int argc, char** argv) {
   std::printf("mirrored download: %zu-byte file (k = %zu), %u mirrors\n",
               file_bytes, code.source_count(), mirrors);
 
-  // Each mirror: its own permutation, pacing and loss; client round-robins
-  // across whatever arrives per tick.
+  // Each mirror: its own permutation and loss; one tick = one packet slot
+  // per mirror.
   util::Rng rng(21);
   std::vector<carousel::Carousel> cycles;
-  std::vector<std::unique_ptr<net::LossModel>> loss;
+  cycles.reserve(mirrors);
+
+  engine::SessionConfig config;
+  config.horizon = 400ull * code.encoded_count();
+  engine::Session session(code, config);
+
+  engine::ReceiverSpec spec;
+  spec.sink = std::make_unique<engine::DataSink>(code.make_decoder(),
+                                                 encoding);
+  auto* sink = static_cast<engine::DataSink*>(spec.sink.get());
+  const engine::ReceiverId client = session.add_receiver(std::move(spec));
+
   for (unsigned m = 0; m < mirrors; ++m) {
     util::Rng crng(1000 + m);
     cycles.push_back(
         carousel::Carousel::random_permutation(code.encoded_count(), crng));
-    loss.push_back(
-        std::make_unique<net::BernoulliLoss>(0.05 + 0.05 * m, rng()));
+    const engine::SourceId src = session.add_source(
+        std::make_shared<engine::CarouselSource>(cycles.back(),
+                                                 code.codec_id()));
+    session.subscribe(client, src,
+                      std::make_unique<engine::LossLink>(
+                          std::make_unique<net::BernoulliLoss>(
+                              0.05 + 0.05 * m, rng())));
   }
 
-  auto decoder = code.make_decoder();
-  std::vector<std::uint8_t> seen(code.encoded_count(), 0);
-  std::size_t received = 0;
-  std::size_t duplicates = 0;
-  std::uint64_t ticks = 0;  // one tick = one packet slot per mirror
-  bool done = false;
-  for (std::uint64_t t = 0; !done; ++t) {
-    ++ticks;
-    for (unsigned m = 0; m < mirrors && !done; ++m) {
-      if (loss[m]->lost()) continue;
-      const std::uint32_t index = cycles[m].packet_at(t);
-      ++received;
-      if (seen[index]) {
-        ++duplicates;
-      } else {
-        seen[index] = 1;
-      }
-      done = decoder->add_symbol(index, encoding.row(index));
-    }
+  const auto report = session.run().front();
+  if (!report.completed) {
+    std::printf("reconstruction FAILED\n");
+    return 1;
   }
-
-  const auto bytes = proto::symbols_to_file(decoder->source(), file_bytes);
+  const auto bytes = proto::symbols_to_file(sink->source(), file_bytes);
   const bool ok = bytes == original;
+  const std::uint64_t ticks = report.completed_at + 1;
+  const std::uint64_t duplicates = report.received - report.distinct;
   std::printf("finished after %llu carousel slots (a single mirror needs "
               "~%zu+): aggregate\nspeedup ~%.1fx\n",
               static_cast<unsigned long long>(ticks), code.source_count(),
               static_cast<double>(code.source_count()) /
                   static_cast<double>(ticks));
-  std::printf("%zu packets received, duplicate fraction %.2f%% "
+  std::printf("%llu packets received, duplicate fraction %.2f%% "
               "(stretch-2 collision cost)\n",
-              received, 100.0 * duplicates / static_cast<double>(received));
+              static_cast<unsigned long long>(report.received),
+              100.0 * static_cast<double>(duplicates) /
+                  static_cast<double>(report.received));
   std::printf("payload %s\n", ok ? "verified byte-identical" : "MISMATCH");
   return ok ? 0 : 1;
 }

@@ -6,15 +6,18 @@
 //
 //   $ ./software_update [clients] [size_kb]
 //
-// Prints per-population statistics: how long clients listened, how efficient
-// their reception was, and verifies one straggler's reconstructed bytes.
+// One engine session: every client is a receiver with its own join phase and
+// link — most on clean links, every tenth behind a bursty Gilbert-Elliott
+// channel — plus one payload-verifying receiver (a private DataSink) riding
+// along in the same population to prove byte-exact reconstruction.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
 #include "carousel/carousel.hpp"
-#include "carousel/reception.hpp"
 #include "core/tornado.hpp"
+#include "engine/session.hpp"
+#include "engine/sources.hpp"
 #include "net/loss.hpp"
 #include "util/stats.hpp"
 
@@ -31,38 +34,74 @@ int main(int argc, char** argv) {
               size_kb, clients);
 
   core::TornadoCode code(core::TornadoParams::tornado_a(k, packet_bytes, 1));
+  util::SymbolMatrix file(k, packet_bytes);
+  file.fill_random(123);
+  util::SymbolMatrix encoding(code.encoded_count(), packet_bytes);
+  code.encode(file, encoding);
+
   util::Rng rng(99);
   const auto carousel =
       carousel::Carousel::random_permutation(code.encoded_count(), rng);
 
+  engine::SessionConfig config;
+  config.horizon = 200ull * carousel.cycle_length();
+  engine::Session session(code, config);
+  const engine::SourceId src = session.add_source(
+      std::make_shared<engine::CarouselSource>(carousel, code.codec_id()));
+
   // Clients join at arbitrary times with heterogeneous loss: most on good
-  // links (2-10%), some on congested or wireless paths (up to 50%).
+  // links (2-10% independent loss), every tenth on a congested or wireless
+  // path (bursty 20-50% Gilbert-Elliott).
+  std::vector<engine::Time> joins;
+  joins.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    engine::ReceiverSpec spec;
+    spec.join = rng.below(carousel.cycle_length());
+    joins.push_back(spec.join);
+    const engine::ReceiverId id = session.add_receiver(std::move(spec));
+    std::unique_ptr<net::LossModel> loss;
+    if (c % 10 == 0) {
+      loss = std::make_unique<net::GilbertElliottLoss>(
+          0.2 + 0.3 * rng.uniform(), 4.0 + 8.0 * rng.uniform(), rng());
+    } else {
+      loss = std::make_unique<net::BernoulliLoss>(0.02 + 0.08 * rng.uniform(),
+                                                  rng());
+    }
+    session.subscribe(id, src,
+                      std::make_unique<engine::LossLink>(std::move(loss)));
+  }
+
+  // The straggler whose payload we verify byte-for-byte.
+  engine::ReceiverSpec verify_spec;
+  verify_spec.sink =
+      std::make_unique<engine::DataSink>(code.make_decoder(), encoding);
+  auto* verify_sink = static_cast<engine::DataSink*>(verify_spec.sink.get());
+  const engine::ReceiverId verifier =
+      session.add_receiver(std::move(verify_spec));
+  session.subscribe(verifier, src,
+                    std::make_unique<engine::LossLink>(
+                        std::make_unique<net::BernoulliLoss>(0.3, 5)));
+
+  const auto reports = session.run();
+
   util::RunningStats efficiency;
   util::RunningStats listen_slots;
   util::RunningStats duplicates;
-  auto decoder = code.make_structural_decoder();
-  std::vector<std::uint8_t> seen(carousel.cycle_length(), 0);
+  std::size_t incomplete = 0;
   for (std::size_t c = 0; c < clients; ++c) {
-    const double loss_rate = c % 10 == 0 ? 0.2 + 0.3 * rng.uniform()
-                                         : 0.02 + 0.08 * rng.uniform();
-    net::BernoulliLoss loss(loss_rate, rng());
-    decoder->reset();
-    std::fill(seen.begin(), seen.end(), 0);
-    const auto result = carousel::simulate_reception(
-        carousel, *decoder, loss, rng.below(carousel.cycle_length()),
-        200ull * carousel.cycle_length(), seen);
-    if (!result.completed) {
-      std::printf("client %zu did not finish (loss %.0f%%)\n", c,
-                  100.0 * loss_rate);
+    const engine::ReceiverReport& r = reports[c];
+    if (!r.completed) {
+      ++incomplete;
       continue;
     }
-    efficiency.add(result.efficiency(k));
-    listen_slots.add(static_cast<double>(result.slots_elapsed));
-    duplicates.add(static_cast<double>(result.packets_received -
-                                       result.distinct_received));
+    efficiency.add(r.efficiency(k));
+    listen_slots.add(static_cast<double>(r.completed_at - joins[c] + 1));
+    duplicates.add(static_cast<double>(r.received - r.distinct));
   }
 
-  std::printf("\nall clients reconstructed the release\n");
+  std::printf("\n%s\n", incomplete == 0
+                            ? "all clients reconstructed the release"
+                            : "some clients did not finish in time");
   std::printf("reception efficiency: mean %.3f  min %.3f  max %.3f\n",
               efficiency.mean(), efficiency.min(), efficiency.max());
   std::printf("listening time (channel slots): mean %.0f  worst %.0f "
@@ -72,19 +111,7 @@ int main(int argc, char** argv) {
   std::printf("duplicate packets per client: mean %.1f  worst %.0f\n",
               duplicates.mean(), duplicates.max());
 
-  // End-to-end payload check for one client with real data.
-  util::SymbolMatrix file(k, packet_bytes);
-  file.fill_random(123);
-  util::SymbolMatrix encoding(code.encoded_count(), packet_bytes);
-  code.encode(file, encoding);
-  net::BernoulliLoss loss(0.3, 5);
-  auto data_decoder = code.make_decoder();
-  for (std::uint64_t t = 0;; ++t) {
-    if (loss.lost()) continue;
-    const auto index = carousel.packet_at(t);
-    if (data_decoder->add_symbol(index, encoding.row(index))) break;
-  }
-  std::printf("payload verification: %s\n",
-              data_decoder->source() == file ? "OK" : "MISMATCH");
-  return data_decoder->source() == file ? 0 : 1;
+  const bool ok = reports[clients].completed && verify_sink->source() == file;
+  std::printf("payload verification: %s\n", ok ? "OK" : "MISMATCH");
+  return ok && incomplete == 0 ? 0 : 1;
 }

@@ -1,14 +1,17 @@
 // A working digital fountain over real UDP sockets (loopback), mirroring the
 // paper's prototype framing: 500-byte payloads tagged with a 12-byte header
-// (packet index, serial number, group number) for 512-byte datagrams.
+// (packet index, serial number, codec id, group number) for 512-byte
+// datagrams.
 //
 //   $ ./udp_fountain [size_kb] [loss]
 //
-// The server thread cycles a random permutation of the Tornado A encoding of
-// a synthetic file through a UDP socket with an artificial drop rate; the
-// client runs the statistical decoding strategy of Section 7.2 and reports
-// efficiency. Everything runs in one process so the example is self-
-// contained and CI-friendly.
+// The server thread drives its transmission schedule from the engine's
+// CarouselSource — the same PacketSource the simulations use — and pushes
+// each emitted batch through a UDP socket with an artificial drop rate; the
+// client runs the statistical decoding strategy of Section 7.2 (over the
+// codec-agnostic fec::ErasureCode interface), rejecting any datagram whose
+// codec byte does not match the advertised code. Everything runs in one
+// process so the example is self-contained and CI-friendly.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +19,7 @@
 
 #include "carousel/carousel.hpp"
 #include "core/tornado.hpp"
+#include "engine/sources.hpp"
 #include "net/loss.hpp"
 #include "net/packet_header.hpp"
 #include "net/udp.hpp"
@@ -52,22 +56,32 @@ int main(int argc, char** argv) {
     net::BernoulliLoss channel(drop, 2);
     const auto order =
         carousel::Carousel::random_permutation(code.encoded_count(), rng);
+    // One firing = 32 packets; the engine source decides what goes on the
+    // wire, this thread only frames, paces and sends.
+    const engine::CarouselSource source(order, code.codec_id(), 32);
+    engine::PacketBatch batch;
     std::uint32_t serial = 0;
-    for (std::uint64_t t = 0; !stop.load(std::memory_order_relaxed); ++t) {
-      const auto index = order.packet_at(t);
-      ++serial;
-      if (channel.lost()) continue;  // channel impairment
-      const auto wire = net::frame_packet(net::PacketHeader{index, serial, 0},
-                                          encoding.row(index));
-      sock.send_to({"127.0.0.1", port}, util::ConstByteSpan(wire));
+    for (std::uint64_t round = 0; !stop.load(std::memory_order_relaxed);
+         ++round) {
+      batch.clear();
+      source.emit(round, batch);
+      for (const std::uint32_t index : batch.indices) {
+        ++serial;
+        if (channel.lost()) continue;  // channel impairment
+        const auto wire = net::frame_packet(
+            net::PacketHeader{index, serial, code.codec_id(), 0},
+            encoding.row(index));
+        sock.send_to({"127.0.0.1", port}, util::ConstByteSpan(wire));
+      }
       // Pace the stream so the client-side socket buffer keeps up.
-      if (t % 32 == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   });
 
   proto::StatisticalDataClient client(code, /*initial_margin=*/0.05);
   util::WallTimer timer;
   std::uint64_t received = 0;
+  std::uint64_t rejected = 0;
   bool done = false;
   while (!done) {
     const auto datagram = client_sock.receive(std::chrono::milliseconds(3000));
@@ -77,6 +91,10 @@ int main(int argc, char** argv) {
     }
     const auto parsed = net::parse_packet(util::ConstByteSpan(datagram->payload));
     if (!parsed || parsed->payload.size() != payload_bytes) continue;
+    if (parsed->header.codec != code.codec_id()) {
+      ++rejected;  // a mirror running a different code: never fed to decoder
+      continue;
+    }
     ++received;
     done = client.on_packet(parsed->header.packet_index, parsed->payload);
   }
@@ -87,9 +105,11 @@ int main(int argc, char** argv) {
 
   const bool ok = client.source() == file;
   std::printf("reconstructed in %.2f s from %llu datagrams "
-              "(%zu distinct, %zu decode attempt(s)) -> %s\n",
+              "(%zu distinct, %zu decode attempt(s), %llu codec-rejected) "
+              "-> %s\n",
               elapsed, static_cast<unsigned long long>(received),
               client.distinct_received(), client.decode_attempts(),
+              static_cast<unsigned long long>(rejected),
               ok ? "contents identical" : "MISMATCH");
   std::printf("effective goodput: %.1f Mbit/s\n",
               static_cast<double>(size_kb) * 8.0 / 1000.0 / elapsed);

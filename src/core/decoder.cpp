@@ -19,19 +19,37 @@ TornadoDataDecoder::TornadoDataDecoder(const Cascade& cascade)
       parity_data_(cascade.parity_count(), cascade.symbol_size()),
       known_(cascade.node_count(), 0),
       unknown_left_(cascade.node_count() - cascade.source_count(), 0),
+      initial_unknown_(cascade.node_count() - cascade.source_count(), 0),
       parity_seen_(cascade.parity_count(), 0) {
   const std::size_t k = cascade_.source_count();
   for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
     const BipartiteGraph& g = cascade_.graph(j);
     const std::size_t right_off = cascade_.level_offset(j + 1);
     for (std::size_t r = 0; r < g.right_count(); ++r) {
-      unknown_left_[right_off + r - k] =
+      initial_unknown_[right_off + r - k] =
           static_cast<std::uint32_t>(g.check_neighbors(r).size());
-      // A check with no neighbours is the XOR of nothing: its value is known
-      // (all zero) before any packet arrives — rule (b) fires immediately.
-      if (g.check_neighbors(r).empty()) {
-        dirty_checks_.push_back(static_cast<std::uint32_t>(right_off + r));
-      }
+    }
+  }
+  reset();
+}
+
+void TornadoDataDecoder::reset() {
+  std::fill(known_.begin(), known_.end(), 0);
+  unknown_left_ = initial_unknown_;
+  std::fill(parity_seen_.begin(), parity_seen_.end(), 0);
+  pending_.clear();
+  dirty_checks_.clear();
+  known_source_ = 0;
+  known_tail_ = 0;
+  parity_received_ = 0;
+  distinct_ = 0;
+  tail_done_ = false;
+  // A check with no neighbours is the XOR of nothing: its value is known
+  // (all zero) before any packet arrives — rule (b) fires immediately.
+  const std::size_t k = cascade_.source_count();
+  for (std::size_t g = k; g < cascade_.node_count(); ++g) {
+    if (initial_unknown_[g - k] == 0) {
+      dirty_checks_.push_back(static_cast<std::uint32_t>(g));
     }
   }
   process();

@@ -48,6 +48,7 @@ class TornadoDataDecoder final : public fec::IncrementalDecoder {
   bool complete() const override {
     return known_source_ == cascade_.source_count();
   }
+  void reset() override;
   /// The decoded prefix of the node matrix — source rows are stored exactly
   /// once (no mirror copy); valid only when complete().
   util::ConstSymbolView source() const override {
@@ -70,6 +71,7 @@ class TornadoDataDecoder final : public fec::IncrementalDecoder {
   util::SymbolMatrix parity_data_;
   std::vector<std::uint8_t> known_;          // per cascade node
   std::vector<std::uint32_t> unknown_left_;  // per check node
+  std::vector<std::uint32_t> initial_unknown_;
   std::vector<std::uint8_t> parity_seen_;
   std::vector<std::uint32_t> pending_;       // newly-known nodes to propagate
   std::vector<std::uint32_t> dirty_checks_;  // checks needing re-evaluation

@@ -38,6 +38,7 @@ class TornadoCode final : public fec::ErasureCode {
     return cascade_->encoded_count();
   }
   std::size_t symbol_size() const override { return cascade_->symbol_size(); }
+  fec::CodecId codec_id() const override { return fec::CodecId::kTornado; }
 
   void encode(const util::SymbolMatrix& source,
               util::SymbolMatrix& encoding) const override {

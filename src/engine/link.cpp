@@ -1,0 +1,28 @@
+#include "engine/link.hpp"
+
+#include <stdexcept>
+
+namespace fountain::engine {
+
+LossLink::LossLink(std::unique_ptr<net::LossModel> model) {
+  if (!model) throw std::invalid_argument("LossLink: null loss model");
+  regimes_.push_back(Regime{0, std::move(model)});
+}
+
+LossLink& LossLink::add_regime(Time at, std::unique_ptr<net::LossModel> model) {
+  if (!model) throw std::invalid_argument("LossLink: null loss model");
+  if (at <= regimes_.back().at) {
+    throw std::invalid_argument("LossLink: regimes must be strictly ordered");
+  }
+  regimes_.push_back(Regime{at, std::move(model)});
+  return *this;
+}
+
+bool LossLink::deliver(Time now) {
+  while (current_ + 1 < regimes_.size() && regimes_[current_ + 1].at <= now) {
+    ++current_;
+  }
+  return !regimes_[current_].model->lost();
+}
+
+}  // namespace fountain::engine

@@ -1,0 +1,51 @@
+// Per-subscription channel models. Every (receiver, source) subscription
+// carries its own LinkModel, so a population can be arbitrarily
+// heterogeneous: one receiver on a clean link, its neighbour behind a bursty
+// Gilbert-Elliott channel, a third whose link degrades mid-session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "net/loss.hpp"
+
+namespace fountain::engine {
+
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+  /// Advances the channel one packet at tick `now`; true = delivered.
+  /// `now` is non-decreasing across calls within one receiver's lifetime.
+  virtual bool deliver(Time now) = 0;
+};
+
+/// Lossless link.
+class PerfectLink final : public LinkModel {
+ public:
+  bool deliver(Time) override { return true; }
+};
+
+/// A net::LossModel with optional scheduled regime changes: from tick `at`
+/// onward the loss process is replaced wholesale (a clean link turning
+/// bursty, congestion clearing, a route flap). Regimes must be added in
+/// increasing time order.
+class LossLink final : public LinkModel {
+ public:
+  explicit LossLink(std::unique_ptr<net::LossModel> model);
+
+  LossLink& add_regime(Time at, std::unique_ptr<net::LossModel> model);
+
+  bool deliver(Time now) override;
+
+ private:
+  struct Regime {
+    Time at;
+    std::unique_ptr<net::LossModel> model;
+  };
+  std::vector<Regime> regimes_;  // regimes_[0].at == 0
+  std::size_t current_ = 0;
+};
+
+}  // namespace fountain::engine

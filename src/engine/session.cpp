@@ -1,0 +1,389 @@
+#include "engine/session.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace fountain::engine {
+
+namespace {
+
+// Event kinds, in tie-break order at equal ticks: control before firings, so
+// a receiver joining (or moving) at t hears t's packets and one leaving at t
+// does not.
+enum : std::uint8_t { kJoin = 0, kMove = 1, kLeave = 2, kFire = 3 };
+
+struct Event {
+  Time at;
+  std::uint8_t kind;
+  std::uint32_t a;  // member index (control) or source index (fire)
+  std::uint32_t b;  // move index (kMove)
+
+  friend bool operator>(const Event& lhs, const Event& rhs) {
+    if (lhs.at != rhs.at) return lhs.at > rhs.at;
+    if (lhs.kind != rhs.kind) return lhs.kind > rhs.kind;
+    return lhs.a > rhs.a;
+  }
+};
+
+using EventQueue =
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+// Per-receiver adaptation state while its cohort runs (Section 7.2 receiver
+// machinery, ported from the old lockstep SimClient).
+struct AdaptState {
+  std::uint8_t active = 0;  // 0 = not yet joined, 1 = live, 2 = finished
+  unsigned level = 0;
+  unsigned capacity = 0;
+  unsigned max_level = 0;
+  bool join_cleared = false;
+  std::uint32_t next_move = 0;
+  util::Rng rng{0};
+};
+
+}  // namespace
+
+struct Session::Slot {
+  std::unique_ptr<PacketSink> sink;
+  std::vector<std::uint8_t> seen;
+};
+
+Session::Session(const fec::ErasureCode& code, SessionConfig config)
+    : code_(code), config_(config) {
+  if (config_.cohort_size == 0) {
+    throw std::invalid_argument("Session: cohort_size must be > 0");
+  }
+  sink_factory_ = [this] {
+    return std::make_unique<StructuralSink>(code_.make_structural_decoder());
+  };
+}
+
+SourceId Session::add_source(std::shared_ptr<const PacketSource> source,
+                             Time start, Time period) {
+  if (ran_) throw std::logic_error("Session: already run");
+  if (!source) throw std::invalid_argument("Session: null source");
+  if (period == 0) throw std::invalid_argument("Session: period must be > 0");
+  SourceState state;
+  state.codec_ok = source->codec_id() == code_.codec_id();
+  state.max_level = source->layer_count() == 0 ? 0 : source->layer_count() - 1;
+  state.source = std::move(source);
+  state.start = start;
+  state.period = period;
+  sources_.push_back(std::move(state));
+  return SourceId{static_cast<std::uint32_t>(sources_.size() - 1)};
+}
+
+ReceiverId Session::add_receiver(ReceiverSpec spec) {
+  if (ran_) throw std::logic_error("Session: already run");
+  if (spec.leave <= spec.join) {
+    throw std::invalid_argument("Session: receiver must leave after joining");
+  }
+  for (std::size_t i = 1; i < spec.moves.size(); ++i) {
+    if (spec.moves[i].at <= spec.moves[i - 1].at) {
+      throw std::invalid_argument("Session: moves must be strictly ordered");
+    }
+  }
+  receivers_.push_back(ReceiverState{std::move(spec), {}});
+  return ReceiverId{static_cast<std::uint32_t>(receivers_.size() - 1)};
+}
+
+void Session::subscribe(ReceiverId receiver, SourceId source,
+                        std::unique_ptr<LinkModel> link) {
+  if (ran_) throw std::logic_error("Session: already run");
+  if (receiver.value >= receivers_.size() || source.value >= sources_.size()) {
+    throw std::out_of_range("Session: unknown receiver or source");
+  }
+  if (!link) throw std::invalid_argument("Session: null link");
+  receivers_[receiver.value].subs.push_back(
+      Subscription{source.value, std::move(link)});
+}
+
+void Session::set_sink_factory(SinkFactory factory) {
+  if (ran_) throw std::logic_error("Session: already run");
+  if (!factory) throw std::invalid_argument("Session: null sink factory");
+  sink_factory_ = std::move(factory);
+}
+
+// Simulates one cohort of receivers [first, first + count) against the
+// session's sources. Slots (pooled sinks + distinct bitmaps) persist across
+// cohorts; everything else is rebuilt per cohort.
+class Session::CohortRunner {
+ public:
+  CohortRunner(Session& session, std::vector<ReceiverReport>& reports,
+               std::vector<Slot>& slots, std::size_t first, std::size_t count)
+      : s_(session),
+        reports_(reports),
+        slots_(slots),
+        first_(first),
+        count_(count),
+        adapt_(count),
+        subscribers_(session.sources_.size()),
+        live_subscribers_(session.sources_.size(), 0) {}
+
+  void run();
+
+ private:
+  ReceiverState& member(std::size_t m) { return s_.receivers_[first_ + m]; }
+  ReceiverReport& report(std::size_t m) { return reports_[first_ + m]; }
+
+  void seed_events();
+  void join_member(std::size_t m, Time now);
+  void finish_member(std::size_t m, bool completed, Time now);
+  void apply_move(std::size_t m, const ScriptedMove& mv);
+  void fire_source(std::uint32_t src_idx, Time now);
+  void process_batch(std::size_t m, Subscription& sub,
+                     const SourceState& src_state, Time now);
+
+  Session& s_;
+  std::vector<ReceiverReport>& reports_;
+  std::vector<Slot>& slots_;
+  std::size_t first_;
+  std::size_t count_;
+  std::vector<AdaptState> adapt_;
+  // Per source: (member index, subscription index) pairs for this cohort.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      subscribers_;
+  // Per source: cohort members subscribed to it that have not finished yet;
+  // a source stops firing (and re-queueing) when this reaches zero.
+  std::vector<std::uint32_t> live_subscribers_;
+  EventQueue queue_;
+  PacketBatch batch_;
+  std::size_t remaining_ = 0;
+};
+
+void Session::CohortRunner::seed_events() {
+  const Time horizon = s_.config_.horizon;
+  Time min_join = kNever;
+  for (std::size_t m = 0; m < count_; ++m) {
+    const ReceiverSpec& spec = member(m).spec;
+    if (spec.join >= horizon) continue;  // never activates
+    ++remaining_;
+    min_join = std::min(min_join, spec.join);
+    queue_.push(Event{spec.join, kJoin, static_cast<std::uint32_t>(m), 0});
+    if (spec.leave < horizon) {
+      queue_.push(Event{spec.leave, kLeave, static_cast<std::uint32_t>(m), 0});
+    }
+    for (std::size_t i = 0; i < spec.moves.size(); ++i) {
+      if (spec.moves[i].at < horizon) {
+        queue_.push(Event{spec.moves[i].at, kMove,
+                          static_cast<std::uint32_t>(m),
+                          static_cast<std::uint32_t>(i)});
+      }
+    }
+    for (std::size_t i = 0; i < member(m).subs.size(); ++i) {
+      subscribers_[member(m).subs[i].source].emplace_back(
+          static_cast<std::uint32_t>(m), static_cast<std::uint32_t>(i));
+      ++live_subscribers_[member(m).subs[i].source];
+    }
+  }
+  if (remaining_ == 0) return;
+  // First firing a cohort member could possibly hear, per subscribed source.
+  for (std::uint32_t s = 0; s < s_.sources_.size(); ++s) {
+    if (subscribers_[s].empty()) continue;
+    const SourceState& src = s_.sources_[s];
+    std::uint64_t round = 0;
+    if (min_join > src.start) {
+      round = (min_join - src.start + src.period - 1) / src.period;
+    }
+    const Time t = src.start + round * src.period;
+    if (t < horizon) queue_.push(Event{t, kFire, s, 0});
+  }
+}
+
+void Session::CohortRunner::join_member(std::size_t m, Time) {
+  const ReceiverSpec& spec = member(m).spec;
+  AdaptState& st = adapt_[m];
+  st.active = 1;
+  st.level = spec.policy.initial_level;
+  st.capacity = spec.policy.initial_capacity;
+  st.join_cleared = false;
+  st.next_move = 0;
+  st.rng.reseed(spec.policy.seed);
+  st.max_level = 0;
+  for (const Subscription& sub : member(m).subs) {
+    st.max_level = std::max(st.max_level, s_.sources_[sub.source].max_level);
+  }
+  st.level = std::min(st.level, st.max_level);
+  st.capacity = std::min(st.capacity, st.max_level);
+
+  Slot& slot = slots_[m];
+  if (!spec.sink) {
+    if (!slot.sink) slot.sink = s_.sink_factory_();
+    slot.sink->reset();
+  }
+  slot.seen.assign(s_.code_.encoded_count(), 0);
+}
+
+void Session::CohortRunner::finish_member(std::size_t m, bool completed,
+                                          Time now) {
+  AdaptState& st = adapt_[m];
+  st.active = 2;
+  ReceiverReport& rep = report(m);
+  rep.completed = completed;
+  if (completed) rep.completed_at = now;
+  rep.final_level = st.level;
+  for (const Subscription& sub : member(m).subs) {
+    --live_subscribers_[sub.source];
+  }
+  --remaining_;
+}
+
+void Session::CohortRunner::apply_move(std::size_t m, const ScriptedMove& mv) {
+  AdaptState& st = adapt_[m];
+  const unsigned level = std::min(mv.level, st.max_level);
+  if (level != st.level) {
+    st.level = level;
+    ++report(m).level_changes;
+    st.join_cleared = false;
+  }
+}
+
+void Session::CohortRunner::fire_source(std::uint32_t src_idx, Time now) {
+  // A source whose cohort subscribers have all finished stops firing — it
+  // would only churn the event queue for receivers that no longer listen.
+  if (live_subscribers_[src_idx] == 0) return;
+  const SourceState& src_state = s_.sources_[src_idx];
+  batch_.clear();
+  src_state.source->emit((now - src_state.start) / src_state.period, batch_);
+  for (const auto& [m, sub_idx] : subscribers_[src_idx]) {
+    if (adapt_[m].active != 1) continue;
+    process_batch(m, member(m).subs[sub_idx], src_state, now);
+  }
+  const Time next = now + src_state.period;
+  if (next < s_.config_.horizon && remaining_ > 0 &&
+      live_subscribers_[src_idx] > 0) {
+    queue_.push(Event{next, kFire, src_idx, 0});
+  }
+}
+
+void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
+                                          const SourceState& src_state,
+                                          Time now) {
+  AdaptState& st = adapt_[m];
+  const SubscriptionPolicy& policy = member(m).spec.policy;
+  ReceiverReport& rep = report(m);
+  Slot& slot = slots_[m];
+  PacketSink* sink =
+      member(m).spec.sink ? member(m).spec.sink.get() : slot.sink.get();
+
+  // Capacity (the sustainable subscription level) drifts over time,
+  // modelling changing cross-traffic on the receiver's bottleneck.
+  if (policy.adaptive && st.rng.chance(policy.capacity_change_prob)) {
+    st.capacity = static_cast<unsigned>(st.rng.below(st.max_level + 1));
+  }
+  const bool congested = policy.adaptive && st.level > st.capacity;
+
+  std::uint64_t round_addressed = 0;
+  std::uint64_t round_lost = 0;
+  std::size_t probe_seen = 0;
+  bool probe_loss = false;
+  bool sp_on_my_level = false;
+
+  for (const PacketBatch::Segment& seg : batch_.segments) {
+    if (seg.layer > st.level) continue;
+    if (seg.layer == st.level && seg.sync_point) sp_on_my_level = true;
+    for (std::uint32_t i = seg.begin; i < seg.end; ++i) {
+      const std::uint32_t index = batch_.indices[i];
+      ++round_addressed;
+      bool delivered = sub.link->deliver(now);
+      if (delivered && congested &&
+          st.rng.chance(policy.congestion_extra_loss)) {
+        delivered = false;  // congestion drop on top of the channel
+      }
+      if (batch_.burst && probe_seen < policy.burst_probe_window) {
+        ++probe_seen;
+        if (!delivered) probe_loss = true;
+      }
+      if (!delivered) {
+        ++round_lost;
+        continue;
+      }
+      ++rep.received;
+      if (!src_state.codec_ok) {
+        ++rep.rejected;  // wrong code: never reaches the decoder
+        continue;
+      }
+      if (!slot.seen[index]) {
+        slot.seen[index] = 1;
+        ++rep.distinct;
+      }
+      if (sink->on_packet(Delivery{now, sub.source, index, seg.layer,
+                                   seg.sync_point, batch_.burst})) {
+        rep.addressed += round_addressed;
+        rep.lost += round_lost;
+        finish_member(m, true, now);
+        return;
+      }
+    }
+  }
+  rep.addressed += round_addressed;
+  rep.lost += round_lost;
+
+  if (!policy.adaptive) return;
+
+  // Congestion back-off: a bad firing forces an immediate drop.
+  const double round_loss =
+      round_addressed == 0 ? 0.0
+                           : static_cast<double>(round_lost) /
+                                 static_cast<double>(round_addressed);
+  if (round_loss > policy.drop_loss_threshold && st.level > 0) {
+    --st.level;
+    ++rep.level_changes;
+    st.join_cleared = false;
+    return;
+  }
+
+  // A clean burst probe clears the receiver to move up at the next SP.
+  if (batch_.burst && probe_seen > 0 && !probe_loss) st.join_cleared = true;
+
+  if (sp_on_my_level && st.join_cleared && st.level < st.max_level) {
+    ++st.level;
+    ++rep.level_changes;
+    st.join_cleared = false;
+  }
+}
+
+void Session::CohortRunner::run() {
+  seed_events();
+  while (remaining_ > 0 && !queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    switch (e.kind) {
+      case kJoin:
+        join_member(e.a, e.at);
+        break;
+      case kMove:
+        if (adapt_[e.a].active == 1) {
+          apply_move(e.a, member(e.a).spec.moves[e.b]);
+        }
+        break;
+      case kLeave:
+        if (adapt_[e.a].active == 1) finish_member(e.a, false, e.at);
+        break;
+      case kFire:
+        fire_source(e.a, e.at);
+        break;
+    }
+  }
+  // Horizon exhausted with receivers still listening: report them incomplete
+  // with whatever they accumulated.
+  for (std::size_t m = 0; m < count_; ++m) {
+    if (adapt_[m].active == 1) finish_member(m, false, s_.config_.horizon);
+  }
+}
+
+std::vector<ReceiverReport> Session::run() {
+  if (ran_) throw std::logic_error("Session: already run");
+  ran_ = true;
+  std::vector<ReceiverReport> reports(receivers_.size());
+  std::vector<Slot> slots(std::min(config_.cohort_size, receivers_.size()));
+  for (std::size_t first = 0; first < receivers_.size();
+       first += config_.cohort_size) {
+    const std::size_t count =
+        std::min(config_.cohort_size, receivers_.size() - first);
+    CohortRunner(*this, reports, slots, first, count).run();
+  }
+  return reports;
+}
+
+}  // namespace fountain::engine

@@ -1,0 +1,188 @@
+// The discrete-event session engine. One Session holds the full scenario —
+// sources (senders), receivers (join/leave times, subscription policy,
+// per-link channel models) — and run() simulates it to completion, returning
+// one report per receiver.
+//
+// Event model. Sources fire on a tick grid (start + r * period); receiver
+// joins, leaves and scripted level moves are point events. Events are
+// processed in time order from a binary heap; control events at a tick are
+// processed before that tick's firings, so a receiver joining at t hears the
+// firing at t and one leaving at t does not.
+//
+// Scale model. Receivers are simulated in cohorts of `cohort_size`. Because
+// every PacketSource is a pure function of its firing number, each cohort
+// replays the firing sequence independently from its members' earliest join;
+// receivers in other cohorts cost nothing while a cohort runs. Decoder state
+// and distinct-packet bitmaps live in per-slot pools reset between cohorts —
+// memory is O(cohort_size * decoder), not O(population * decoder) — which is
+// what lets one run carry >= 100k structural receivers. The hot path (one
+// delivered packet) performs no allocation.
+//
+// Subscription policy. The adaptive policy is the paper's Section 7.2
+// receiver ported from the old lockstep SimClient: congestion loss above
+// capacity, back-off when a firing's loss exceeds the drop threshold, burst
+// probes clearing a move up at the next sync point on the receiver's level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/link.hpp"
+#include "engine/packet_source.hpp"
+#include "engine/sink.hpp"
+#include "engine/types.hpp"
+#include "fec/codec_id.hpp"
+#include "fec/erasure_code.hpp"
+#include "util/random.hpp"
+
+namespace fountain::engine {
+
+/// How a receiver manages its subscription level (the highest layer it
+/// hears). Defaults describe a fixed-level receiver; `adaptive = true`
+/// enables the Section 7.2 join/back-off machinery.
+struct SubscriptionPolicy {
+  unsigned initial_level = 0;
+  bool adaptive = false;
+
+  // Adaptive receivers only:
+  unsigned initial_capacity = 0;        // sustainable level, in [0, layers)
+  double capacity_change_prob = 0.0;    // per-firing capacity re-draw
+  double congestion_extra_loss = 0.0;   // extra drop prob while level > cap
+  double drop_loss_threshold = 0.45;    // firing loss fraction forcing a drop
+  std::size_t burst_probe_window = 32;  // packets inspected during a burst
+  std::uint64_t seed = 0;               // drives capacity + congestion draws
+};
+
+/// A scenario-scripted forced level change (churn): at tick `at` the
+/// receiver re-subscribes to levels [0, level]. Applies to fixed and
+/// adaptive receivers alike and counts as a level change.
+struct ScriptedMove {
+  Time at = 0;
+  unsigned level = 0;
+};
+
+/// Everything the engine needs to know about one receiver. Value type apart
+/// from the optional private sink; describing 100k receivers is cheap.
+struct ReceiverSpec {
+  Time join = 0;
+  Time leave = kNever;  // departs at `leave` (exclusive): churn
+  SubscriptionPolicy policy;
+  std::vector<ScriptedMove> moves;  // strictly increasing `at`
+  /// Receiver-private sink. When null the receiver uses the session's pooled
+  /// sinks (the common case); set it to give one receiver a different sink
+  /// type (e.g. a payload-verifying DataSink inside a structural population).
+  std::unique_ptr<PacketSink> sink;
+};
+
+struct ReceiverReport {
+  bool completed = false;
+  Time completed_at = 0;           // tick of the completing firing
+  std::uint64_t addressed = 0;     // packets sent on subscribed layers
+  std::uint64_t received = 0;      // survived the link (incl. duplicates)
+  std::uint64_t distinct = 0;      // distinct encoding indices received
+  std::uint64_t lost = 0;          // addressed - received
+  std::uint64_t rejected = 0;      // received from a codec-mismatched source
+  unsigned level_changes = 0;
+  unsigned final_level = 0;
+
+  /// Fraction of addressed packets lost on the link.
+  double observed_loss() const {
+    return addressed == 0
+               ? 0.0
+               : static_cast<double>(lost) / static_cast<double>(addressed);
+  }
+  /// Total reception efficiency eta = k / received.
+  double efficiency(std::size_t k) const {
+    return received == 0
+               ? 0.0
+               : static_cast<double>(k) / static_cast<double>(received);
+  }
+  /// Coding efficiency eta_c = k / distinct.
+  double coding_efficiency(std::size_t k) const {
+    return distinct == 0
+               ? 0.0
+               : static_cast<double>(k) / static_cast<double>(distinct);
+  }
+  /// Distinctness efficiency eta_d = distinct / received.
+  double distinctness_efficiency() const {
+    return received == 0 ? 0.0
+                         : static_cast<double>(distinct) /
+                               static_cast<double>(received);
+  }
+};
+
+struct SessionConfig {
+  /// Hard stop: no event at tick >= horizon is processed. Receivers still
+  /// incomplete then are reported with completed = false (the "bounded event
+  /// budget" knob for CI smoke runs).
+  Time horizon = 4'000'000;
+  /// Receivers simulated concurrently; bounds pooled decoder memory.
+  std::size_t cohort_size = 1024;
+};
+
+class Session {
+ public:
+  /// `code` defines the encoding index space, the expected codec id, and the
+  /// default pooled sink (a StructuralSink over code.make_structural_decoder).
+  /// The code must outlive the session.
+  Session(const fec::ErasureCode& code, SessionConfig config = {});
+
+  /// Registers a sender firing at ticks start, start+period, ... The source
+  /// must be pure in its firing number (see PacketSource).
+  SourceId add_source(std::shared_ptr<const PacketSource> source,
+                      Time start = 0, Time period = 1);
+
+  ReceiverId add_receiver(ReceiverSpec spec);
+
+  /// Subscribes a receiver to a source through its own link. A receiver may
+  /// subscribe to any number of sources (mirrors, dispersity paths); packets
+  /// from sources whose codec_id() mismatches the session code are counted
+  /// as rejected, never decoded.
+  void subscribe(ReceiverId receiver, SourceId source,
+                 std::unique_ptr<LinkModel> link);
+
+  /// Replaces the pooled-sink factory (default: structural decoders from the
+  /// session code). Called once per cohort slot, not per receiver.
+  using SinkFactory = std::function<std::unique_ptr<PacketSink>()>;
+  void set_sink_factory(SinkFactory factory);
+
+  /// Runs the whole scenario; reports are indexed by ReceiverId::value.
+  /// May be called once.
+  std::vector<ReceiverReport> run();
+
+  const fec::ErasureCode& code() const { return code_; }
+  std::size_t receiver_count() const { return receivers_.size(); }
+
+ private:
+  struct SourceState {
+    std::shared_ptr<const PacketSource> source;
+    Time start = 0;
+    Time period = 1;
+    bool codec_ok = false;
+    unsigned max_level = 0;  // layer_count() - 1
+  };
+
+  struct Subscription {
+    std::uint32_t source = 0;
+    std::unique_ptr<LinkModel> link;
+  };
+
+  struct ReceiverState {
+    ReceiverSpec spec;
+    std::vector<Subscription> subs;
+  };
+
+  struct Slot;  // pooled per-cohort-slot state (sink + distinct bitmap)
+  class CohortRunner;
+
+  const fec::ErasureCode& code_;
+  SessionConfig config_;
+  SinkFactory sink_factory_;
+  std::vector<SourceState> sources_;
+  std::vector<ReceiverState> receivers_;
+  bool ran_ = false;
+};
+
+}  // namespace fountain::engine

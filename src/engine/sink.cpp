@@ -1,0 +1,21 @@
+#include "engine/sink.hpp"
+
+#include <stdexcept>
+
+namespace fountain::engine {
+
+StructuralSink::StructuralSink(std::unique_ptr<fec::StructuralDecoder> decoder)
+    : decoder_(std::move(decoder)) {
+  if (!decoder_) throw std::invalid_argument("StructuralSink: null decoder");
+}
+
+DataSink::DataSink(std::unique_ptr<fec::IncrementalDecoder> decoder,
+                   util::ConstSymbolView encoding)
+    : decoder_(std::move(decoder)), encoding_(encoding) {
+  if (!decoder_) throw std::invalid_argument("DataSink: null decoder");
+  if (encoding_.empty()) {
+    throw std::invalid_argument("DataSink: empty encoding view");
+  }
+}
+
+}  // namespace fountain::engine

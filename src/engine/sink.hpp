@@ -1,0 +1,68 @@
+// PacketSink: the receiving side of the session engine. A sink consumes
+// delivered packets and says when it has enough. Sinks are pooled: the
+// session creates one per cohort slot and reset()s it for each simulated
+// receiver that passes through the slot, so a 100k-receiver run touches only
+// cohort_size decoders' worth of memory and never reallocates decoder state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/types.hpp"
+#include "fec/erasure_code.hpp"
+#include "util/symbols.hpp"
+
+namespace fountain::engine {
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// Consumes one delivered packet; returns true once the sink is complete
+  /// (and stays true). Duplicate indices are permitted.
+  virtual bool on_packet(const Delivery& d) = 0;
+  virtual bool complete() const = 0;
+  /// Returns the sink to its empty state so it can serve another simulated
+  /// receiver without reallocation.
+  virtual void reset() = 0;
+};
+
+/// Index-only sink over a fec::StructuralDecoder — the workhorse of the
+/// receiver-population scenarios (Figures 4-6, 8), where decodability
+/// depends only on which indices arrived.
+class StructuralSink final : public PacketSink {
+ public:
+  explicit StructuralSink(std::unique_ptr<fec::StructuralDecoder> decoder);
+
+  bool on_packet(const Delivery& d) override {
+    return decoder_->add_index(d.index);
+  }
+  bool complete() const override { return decoder_->complete(); }
+  void reset() override { decoder_->reset(); }
+
+ private:
+  std::unique_ptr<fec::StructuralDecoder> decoder_;
+};
+
+/// Payload-carrying sink: feeds real encoding rows through a
+/// fec::IncrementalDecoder so a scenario can verify byte-exact
+/// reconstruction. The encoding view must outlive the sink.
+class DataSink final : public PacketSink {
+ public:
+  DataSink(std::unique_ptr<fec::IncrementalDecoder> decoder,
+           util::ConstSymbolView encoding);
+
+  bool on_packet(const Delivery& d) override {
+    return decoder_->add_symbol(d.index, encoding_.row(d.index));
+  }
+  bool complete() const override { return decoder_->complete(); }
+  void reset() override { decoder_->reset(); }
+
+  /// The reconstructed source; valid only when complete().
+  util::ConstSymbolView source() const { return decoder_->source(); }
+
+ private:
+  std::unique_ptr<fec::IncrementalDecoder> decoder_;
+  util::ConstSymbolView encoding_;
+};
+
+}  // namespace fountain::engine

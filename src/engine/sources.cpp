@@ -1,0 +1,42 @@
+#include "engine/sources.hpp"
+
+#include <stdexcept>
+
+namespace fountain::engine {
+
+CarouselSource::CarouselSource(const carousel::Carousel& carousel,
+                               fec::CodecId codec,
+                               std::size_t packets_per_fire)
+    : carousel_(carousel), codec_(codec), packets_per_fire_(packets_per_fire) {
+  if (packets_per_fire == 0) {
+    throw std::invalid_argument("CarouselSource: packets_per_fire must be > 0");
+  }
+}
+
+void CarouselSource::emit(std::uint64_t round, PacketBatch& batch) const {
+  const std::uint64_t first = round * packets_per_fire_;
+  for (std::size_t i = 0; i < packets_per_fire_; ++i) {
+    batch.indices.push_back(carousel_.packet_at(first + i));
+  }
+  // A carousel has no schedule structure: one layer, and any firing is as
+  // good a join opportunity as any other.
+  batch.segments.push_back(PacketBatch::Segment{
+      0, true, 0, static_cast<std::uint32_t>(batch.indices.size())});
+}
+
+StridedCarouselSource::StridedCarouselSource(
+    const carousel::Carousel& carousel, fec::CodecId codec,
+    std::uint64_t offset, std::uint64_t stride)
+    : carousel_(carousel), codec_(codec), offset_(offset), stride_(stride) {
+  if (stride == 0) {
+    throw std::invalid_argument("StridedCarouselSource: stride must be > 0");
+  }
+}
+
+void StridedCarouselSource::emit(std::uint64_t round,
+                                 PacketBatch& batch) const {
+  batch.indices.push_back(carousel_.packet_at(offset_ + round * stride_));
+  batch.segments.push_back(PacketBatch::Segment{0, true, 0, 1});
+}
+
+}  // namespace fountain::engine

@@ -1,0 +1,52 @@
+// PacketSource adapters for the library's senders that are not engine-aware
+// themselves: the data carousel (Sections 1/4/6) and its strided variant for
+// dispersity routing (Section 8). The layered prototype server adapts itself
+// (proto::FountainServer implements PacketSource directly).
+#pragma once
+
+#include <cstdint>
+
+#include "carousel/carousel.hpp"
+#include "engine/packet_source.hpp"
+
+namespace fountain::engine {
+
+/// Cycles a carousel: firing r carries slots [r*ppf, (r+1)*ppf) of the
+/// carousel's infinite transmission order. `packets_per_fire` > 1 coarsens
+/// the event grid (one heap pop per ppf slots) for very large populations;
+/// keep it at 1 when per-slot join phases matter (the Figure 4-6
+/// experiments).
+class CarouselSource final : public PacketSource {
+ public:
+  CarouselSource(const carousel::Carousel& carousel, fec::CodecId codec,
+                 std::size_t packets_per_fire = 1);
+
+  fec::CodecId codec_id() const override { return codec_; }
+  void emit(std::uint64_t round, PacketBatch& batch) const override;
+
+ private:
+  const carousel::Carousel& carousel_;  // borrowed; must outlive the source
+  fec::CodecId codec_;
+  std::size_t packets_per_fire_;
+};
+
+/// Every `stride`-th slot of a carousel starting at `offset`: path p of a
+/// dispersity-routed transfer dealing packets round-robin over `stride`
+/// paths is StridedCarouselSource(c, codec, p, stride). One packet per fire;
+/// per-path pacing and latency come from the source's period and start tick.
+class StridedCarouselSource final : public PacketSource {
+ public:
+  StridedCarouselSource(const carousel::Carousel& carousel, fec::CodecId codec,
+                        std::uint64_t offset, std::uint64_t stride);
+
+  fec::CodecId codec_id() const override { return codec_; }
+  void emit(std::uint64_t round, PacketBatch& batch) const override;
+
+ private:
+  const carousel::Carousel& carousel_;
+  fec::CodecId codec_;
+  std::uint64_t offset_;
+  std::uint64_t stride_;
+};
+
+}  // namespace fountain::engine

@@ -1,0 +1,63 @@
+// Value types shared across the discrete-event session engine. Time is an
+// abstract tick count: a scenario decides what one tick means (a carousel
+// slot, a protocol round, a 0.1 ms pacing interval) and gives every source a
+// start tick and a firing period in the same unit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fountain::engine {
+
+/// Simulation time in ticks.
+using Time = std::uint64_t;
+
+/// "Does not happen": default leave time, return value of bounded searches.
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+struct SourceId {
+  std::uint32_t value = 0;
+};
+
+struct ReceiverId {
+  std::uint32_t value = 0;
+};
+
+/// The packets emitted by one source firing. The engine owns one batch per
+/// source and reuses it across firings, so sources append into the vectors
+/// without allocating on the hot path after the first few rounds.
+struct PacketBatch {
+  /// A run of packets transmitted on one multicast layer. `begin`/`end`
+  /// index into `indices`; `sync_point` marks the layer's join opportunity
+  /// for this firing (Section 7.1's SPs).
+  struct Segment {
+    unsigned layer = 0;
+    bool sync_point = false;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  bool burst = false;  // double-rate probe firing (Section 7.1.3)
+  std::vector<std::uint32_t> indices;  // encoding indices, transmission order
+  std::vector<Segment> segments;
+
+  void clear() {
+    burst = false;
+    indices.clear();
+    segments.clear();
+  }
+};
+
+/// One packet as seen by a sink: the encoding index plus its transmission
+/// context (which sender, which layer, when).
+struct Delivery {
+  Time at = 0;
+  std::uint32_t source = 0;  // SourceId::value
+  std::uint32_t index = 0;   // encoding index
+  unsigned layer = 0;
+  bool sync_point = false;
+  bool burst = false;
+};
+
+}  // namespace fountain::engine

@@ -1,0 +1,19 @@
+// Wire-level identifier of an erasure-code family. Carried as one byte in
+// net::PacketHeader and advertised by every fec::ErasureCode so that
+// multi-source sessions (mirrors, dispersity paths) can reject packets from a
+// sender running a different code instead of feeding them to the wrong
+// decoder. Lives in its own header so net/ can name it without pulling in the
+// full fec interfaces.
+#pragma once
+
+#include <cstdint>
+
+namespace fountain::fec {
+
+enum class CodecId : std::uint8_t {
+  kTornado = 0,
+  kReedSolomon = 1,
+  kInterleaved = 2,
+};
+
+}  // namespace fountain::fec

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "fec/codec_id.hpp"
 #include "util/symbols.hpp"
 
 namespace fountain::fec {
@@ -49,6 +50,10 @@ class IncrementalDecoder {
   /// reconstructed. Duplicates are permitted.
   virtual bool add_symbol(std::uint32_t index, util::ConstByteSpan data) = 0;
   virtual bool complete() const = 0;
+  /// Resets to the empty state (parity with StructuralDecoder::reset()) so
+  /// payload decoders can be reused across simulated receivers — and across
+  /// repeated decode attempts — without reallocation. Invalidates source().
+  virtual void reset() = 0;
   /// The reconstructed source; valid only when complete(). Returned as a
   /// non-owning view so decoders that already hold the source rows (e.g. the
   /// Tornado decoder's node matrix prefix) need not keep a mirror copy; the
@@ -63,6 +68,9 @@ class ErasureCode {
   virtual std::size_t source_count() const = 0;   // k
   virtual std::size_t encoded_count() const = 0;  // n
   virtual std::size_t symbol_size() const = 0;    // P bytes
+  /// Which code family this is, for wire tagging (net::PacketHeader::codec)
+  /// and engine-side codec matching in multi-source sessions.
+  virtual CodecId codec_id() const = 0;
 
   double stretch_factor() const {
     return static_cast<double>(encoded_count()) /

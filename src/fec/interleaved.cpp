@@ -236,6 +236,18 @@ class InterleavedCode::Decoder final : public IncrementalDecoder {
 
   bool complete() const override { return complete_; }
 
+  void reset() override {
+    for (BlockState& block : blocks_) {
+      std::fill(block.have_source.begin(), block.have_source.end(), false);
+      std::fill(block.parity_seen.begin(), block.parity_seen.end(), false);
+      block.parity_indices.clear();
+      block.distinct = 0;
+      block.done = false;
+    }
+    blocks_done_ = 0;
+    complete_ = false;
+  }
+
   util::ConstSymbolView source() const override { return source_; }
 
  private:

@@ -32,6 +32,7 @@ class InterleavedCode final : public ErasureCode {
   std::size_t source_count() const override { return total_source_; }
   std::size_t encoded_count() const override { return total_encoded_; }
   std::size_t symbol_size() const override { return symbol_size_; }
+  CodecId codec_id() const override { return CodecId::kInterleaved; }
 
   std::size_t block_count() const { return block_source_.size(); }
   std::size_t block_source_count(std::size_t b) const {

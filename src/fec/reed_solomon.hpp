@@ -4,6 +4,7 @@
 // the "reception overhead 0" row of the paper's Table 1.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -57,6 +58,7 @@ class RsErasureCode final : public ErasureCode {
     return codec_.source_count() + codec_.parity_count();
   }
   std::size_t symbol_size() const override { return symbol_size_; }
+  CodecId codec_id() const override { return CodecId::kReedSolomon; }
 
   const Codec& codec() const { return codec_; }
 
@@ -129,6 +131,14 @@ class RsErasureCode final : public ErasureCode {
     }
 
     bool complete() const override { return complete_; }
+
+    void reset() override {
+      std::fill(have_source_.begin(), have_source_.end(), false);
+      std::fill(parity_seen_.begin(), parity_seen_.end(), false);
+      parity_indices_.clear();
+      distinct_ = 0;
+      complete_ = false;
+    }
 
     util::ConstSymbolView source() const override { return source_; }
 

@@ -29,7 +29,10 @@ void PacketHeader::serialize(util::ByteSpan out) const {
   }
   put_u32(out.data(), packet_index);
   put_u32(out.data() + 4, serial);
-  put_u32(out.data() + 8, group);
+  out[8] = static_cast<std::uint8_t>(codec);
+  out[9] = 0;  // reserved
+  out[10] = static_cast<std::uint8_t>(group >> 8);
+  out[11] = static_cast<std::uint8_t>(group);
 }
 
 PacketHeader PacketHeader::parse(util::ConstByteSpan in) {
@@ -39,7 +42,9 @@ PacketHeader PacketHeader::parse(util::ConstByteSpan in) {
   PacketHeader h;
   h.packet_index = get_u32(in.data());
   h.serial = get_u32(in.data() + 4);
-  h.group = get_u32(in.data() + 8);
+  h.codec = static_cast<fec::CodecId>(in[8]);
+  h.group = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(in[10]) << 8) | in[11]);
   return h;
 }
 

@@ -1,13 +1,22 @@
 // Wire format of the prototype's data packets (paper Section 7.3): a 500-byte
 // payload is "tagged with 12 bytes of information (packet index, serial
 // number and group number) to give a final packet size of 512 bytes".
-// Network byte order (big-endian).
+// Network byte order (big-endian). One of the twelve bytes carries the
+// erasure-code family (fec::CodecId) so that a client aggregating several
+// senders (mirrors, dispersity paths) can reject packets from a mismatched
+// code instead of feeding them to the wrong decoder; the group number is a
+// 16-bit field (the schedule allows at most 16 layers), which keeps the
+// header at the paper's 12 bytes.
+//
+// Layout: [0..3] packet_index, [4..7] serial, [8] codec, [9] reserved (zero),
+// [10..11] group.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "fec/codec_id.hpp"
 #include "util/symbols.hpp"
 
 namespace fountain::net {
@@ -17,7 +26,8 @@ struct PacketHeader {
 
   std::uint32_t packet_index = 0;  // index within the encoding
   std::uint32_t serial = 0;        // monotone per-sender transmission counter
-  std::uint32_t group = 0;         // multicast group (layer) number
+  fec::CodecId codec = fec::CodecId::kTornado;  // erasure-code family
+  std::uint16_t group = 0;         // multicast group (layer) number
 
   void serialize(util::ByteSpan out) const;
   static PacketHeader parse(util::ConstByteSpan in);

@@ -6,136 +6,30 @@
 
 namespace fountain::proto {
 
-SimClient::SimClient(const fec::ErasureCode& code, const ProtocolConfig& proto,
-                     const SimClientConfig& config, std::uint64_t seed)
-    : code_(code),
-      proto_(proto),
-      config_(config),
-      decoder_(code.make_structural_decoder()),
-      seen_(code.encoded_count(), 0),
-      rng_(seed),
-      level_(config.initial_level),
-      capacity_(config.initial_capacity),
-      max_level_(proto.layers - 1) {
-  level_ = std::min(level_, max_level_);
-  capacity_ = std::min(capacity_, max_level_);
-}
-
-bool SimClient::on_round(const FountainServer::Round& round) {
-  if (complete_) return true;
-
-  // Capacity (the receiver's sustainable subscription level) drifts over
-  // time, modelling changing cross-traffic on its bottleneck.
-  if (!config_.fixed_level && rng_.chance(config_.capacity_change_prob)) {
-    capacity_ = static_cast<unsigned>(rng_.below(max_level_ + 1));
-  }
-
-  const bool congested = level_ > capacity_;
-  const double loss_prob =
-      congested ? std::min(0.95, config_.base_loss +
-                                     config_.congestion_extra_loss)
-                : config_.base_loss;
-
-  std::uint64_t round_addressed = 0;
-  std::uint64_t round_lost = 0;
-  std::uint64_t probe_seen = 0;
-  bool probe_loss = false;
-  bool sp_on_my_level = false;
-
-  for (const auto& lr : round.layers) {
-    if (lr.layer > level_) continue;
-    if (lr.layer == level_ && lr.sync_point) sp_on_my_level = true;
-    for (const std::uint32_t index : lr.indices) {
-      ++round_addressed;
-      const bool lost = rng_.chance(loss_prob);
-      if (round.burst && probe_seen < proto_.burst_probe_window) {
-        ++probe_seen;
-        if (lost) probe_loss = true;
-      }
-      if (lost) {
-        ++round_lost;
-        continue;
-      }
-      ++total_received_;
-      if (!seen_[index]) {
-        seen_[index] = 1;
-        ++distinct_;
-      }
-      if (!complete_ && decoder_->add_index(index)) {
-        complete_ = true;
-        addressed_ += round_addressed;
-        lost_ += round_lost;
-        return true;
-      }
-    }
-  }
-  addressed_ += round_addressed;
-  lost_ += round_lost;
-
-  if (config_.fixed_level) return complete_;
-
-  // Congestion back-off: a bad round forces an immediate drop.
-  const double round_loss =
-      round_addressed == 0
-          ? 0.0
-          : static_cast<double>(round_lost) /
-                static_cast<double>(round_addressed);
-  if (round_loss > proto_.drop_loss_threshold && level_ > 0) {
-    --level_;
-    ++level_changes_;
-    join_cleared_ = false;
-    return complete_;
-  }
-
-  // A clean burst probe clears the receiver to move up at the next SP.
-  if (round.burst && probe_seen > 0 && !probe_loss) join_cleared_ = true;
-
-  if (sp_on_my_level && join_cleared_ && level_ < max_level_) {
-    ++level_;
-    ++level_changes_;
-    join_cleared_ = false;
-  }
-  return complete_;
-}
-
-double SimClient::observed_loss() const {
-  return addressed_ == 0
-             ? 0.0
-             : static_cast<double>(lost_) / static_cast<double>(addressed_);
-}
-
-double SimClient::efficiency() const {
-  return total_received_ == 0
-             ? 0.0
-             : static_cast<double>(code_.source_count()) /
-                   static_cast<double>(total_received_);
-}
-
-double SimClient::coding_efficiency() const {
-  return distinct_ == 0 ? 0.0
-                        : static_cast<double>(code_.source_count()) /
-                              static_cast<double>(distinct_);
-}
-
-double SimClient::distinctness_efficiency() const {
-  return total_received_ == 0
-             ? 0.0
-             : static_cast<double>(distinct_) /
-                   static_cast<double>(total_received_);
-}
-
-StatisticalDataClient::StatisticalDataClient(const core::TornadoCode& code,
+StatisticalDataClient::StatisticalDataClient(const fec::ErasureCode& code,
                                              double initial_margin,
                                              double step)
     : code_(code),
+      initial_margin_(initial_margin),
       threshold_(1.0 + initial_margin),
       step_(step),
       store_(code.encoded_count(), code.symbol_size()),
-      have_(code.encoded_count(), 0) {
+      have_(code.encoded_count(), 0),
+      decoder_(code.make_decoder()) {
   if (initial_margin < 0.0 || step <= 0.0) {
     throw std::invalid_argument("StatisticalDataClient: bad margins");
   }
   order_.reserve(code.encoded_count());
+}
+
+void StatisticalDataClient::reset() {
+  threshold_ = 1.0 + initial_margin_;
+  std::fill(have_.begin(), have_.end(), 0);
+  order_.clear();
+  decoder_->reset();
+  distinct_ = 0;
+  attempts_ = 0;
+  complete_ = false;
 }
 
 bool StatisticalDataClient::on_packet(std::uint32_t index,
@@ -167,7 +61,7 @@ bool StatisticalDataClient::on_packet(std::uint32_t index,
 
 bool StatisticalDataClient::try_decode() {
   ++attempts_;
-  decoder_ = code_.make_decoder();
+  decoder_->reset();  // one decoder, reused across attempts
   for (const std::uint32_t index : order_) {
     if (decoder_->add_symbol(index, store_.row(index))) return true;
   }
@@ -175,7 +69,7 @@ bool StatisticalDataClient::try_decode() {
 }
 
 util::ConstSymbolView StatisticalDataClient::source() const {
-  if (!complete_ || !decoder_) {
+  if (!complete_) {
     throw std::logic_error("StatisticalDataClient: not complete");
   }
   return decoder_->source();

@@ -1,95 +1,44 @@
-// Clients of the digital fountain (Section 7.2).
+// The payload-carrying client of the digital fountain (Section 7.2).
 //
-// SimClient models a receiver in the discrete-event session simulation: it
-// subscribes to a cumulative set of layers, loses packets to a background
-// loss process plus congestion whenever it subscribes above its (time-
-// varying) capacity, moves up a level at synchronization points after a
-// loss-free burst probe, drops a level when a round's loss exceeds the
-// back-off threshold, and accounts total/distinct receptions so the session
-// can report the paper's eta, eta_c and eta_d.
+// StatisticalDataClient is the decoding strategy the paper settled on ("we
+// found the statistical approach to be simpler and sufficiently fast"): it
+// buffers packets until slightly more than (1 + eps_hat) k distinct ones
+// have arrived, then runs the code's incremental decoder; if reconstruction
+// falls short, it raises the threshold and keeps listening. It works over
+// any fec::ErasureCode (the session layer no longer names Tornado), and one
+// decoder instance is reused across attempts — and across reset()s — via
+// fec::IncrementalDecoder::reset().
 //
-// StatisticalDataClient is the payload-carrying client the paper settled on
-// ("we found the statistical approach to be simpler and sufficiently fast"):
-// it buffers packets until slightly more than (1 + eps_hat) k distinct ones
-// have arrived, then runs the Tornado decoder; if reconstruction falls
-// short, it raises the threshold and keeps listening.
+// The old lockstep SimClient lived here; the Section 7.2 subscription
+// machinery (congestion back-off, burst probes, SP joins) is now the
+// engine's adaptive SubscriptionPolicy (engine/session.hpp), driven by the
+// discrete-event session engine instead of a hand-rolled round loop.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "core/tornado.hpp"
 #include "fec/erasure_code.hpp"
-#include "proto/config.hpp"
-#include "proto/server.hpp"
-#include "util/random.hpp"
+#include "util/symbols.hpp"
 
 namespace fountain::proto {
-
-struct SimClientConfig {
-  double base_loss = 0.05;             // background loss on every packet
-  double congestion_extra_loss = 0.45; // added when subscribed above capacity
-  double capacity_change_prob = 0.005; // per-round capacity re-draw
-  unsigned initial_level = 0;
-  unsigned initial_capacity = 3;       // in [0, layers)
-  bool fixed_level = false;            // single-layer experiments pin level 0
-};
-
-class SimClient {
- public:
-  SimClient(const fec::ErasureCode& code, const ProtocolConfig& proto,
-            const SimClientConfig& config, std::uint64_t seed);
-
-  /// Processes one server round; returns true once the source is decodable.
-  bool on_round(const FountainServer::Round& round);
-
-  bool complete() const { return complete_; }
-  unsigned level() const { return level_; }
-  unsigned level_changes() const { return level_changes_; }
-
-  std::uint64_t total_received() const { return total_received_; }
-  std::uint64_t distinct_received() const { return distinct_; }
-  std::uint64_t total_addressed() const { return addressed_; }
-
-  /// Fraction of packets addressed to this receiver that were lost.
-  double observed_loss() const;
-  /// eta = k / total received (prior to reconstruction).
-  double efficiency() const;
-  /// eta_c = k / distinct received.
-  double coding_efficiency() const;
-  /// eta_d = distinct / total received.
-  double distinctness_efficiency() const;
-
- private:
-  const fec::ErasureCode& code_;
-  ProtocolConfig proto_;
-  SimClientConfig config_;
-  std::unique_ptr<fec::StructuralDecoder> decoder_;
-  std::vector<std::uint8_t> seen_;
-  util::Rng rng_;
-  unsigned level_;
-  unsigned capacity_;
-  unsigned max_level_;
-  unsigned level_changes_ = 0;
-  bool join_cleared_ = false;
-  bool complete_ = false;
-  std::uint64_t total_received_ = 0;
-  std::uint64_t distinct_ = 0;
-  std::uint64_t addressed_ = 0;
-  std::uint64_t lost_ = 0;
-};
 
 class StatisticalDataClient {
  public:
   /// `initial_margin` is eps_hat: the first decode attempt happens at
   /// (1 + initial_margin) k distinct packets; each failed attempt raises the
   /// threshold by `step`.
-  StatisticalDataClient(const core::TornadoCode& code,
-                        double initial_margin = 0.03, double step = 0.01);
+  explicit StatisticalDataClient(const fec::ErasureCode& code,
+                                 double initial_margin = 0.03,
+                                 double step = 0.01);
 
   /// Buffers one received packet; returns true once decoding has succeeded.
   bool on_packet(std::uint32_t index, util::ConstByteSpan payload);
+
+  /// Returns the client to its empty state (threshold back at the initial
+  /// margin) so it can serve another transfer without reallocation.
+  void reset();
 
   bool complete() const { return complete_; }
   std::size_t decode_attempts() const { return attempts_; }
@@ -99,7 +48,8 @@ class StatisticalDataClient {
  private:
   bool try_decode();
 
-  const core::TornadoCode& code_;
+  const fec::ErasureCode& code_;
+  double initial_margin_;
   double threshold_;
   double step_;
   util::SymbolMatrix store_;

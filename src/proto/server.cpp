@@ -4,8 +4,11 @@ namespace fountain::proto {
 
 FountainServer::FountainServer(const ProtocolConfig& config,
                                std::size_t encoding_length,
-                               std::uint64_t permutation_seed)
-    : config_(config), schedule_(config.layers, encoding_length) {
+                               std::uint64_t permutation_seed,
+                               fec::CodecId codec)
+    : config_(config),
+      schedule_(config.layers, encoding_length),
+      codec_(codec) {
   util::Rng rng(permutation_seed);
   permutation_ = rng.permutation(encoding_length);
 }
@@ -25,25 +28,58 @@ bool FountainServer::is_sync_point(unsigned layer,
   return interval == 0 ? true : (wall_round % interval) == 0;
 }
 
-FountainServer::Round FountainServer::next_round() {
+std::uint64_t FountainServer::schedule_rounds_before(
+    std::uint64_t wall_round) const {
+  if (config_.burst_period == 0 || config_.burst_length == 0) {
+    return wall_round;
+  }
+  if (config_.burst_length >= config_.burst_period) return 2 * wall_round;
+  const std::uint64_t full = wall_round / config_.burst_period;
+  const std::uint64_t rem = wall_round % config_.burst_period;
+  const std::uint64_t open = config_.burst_period - config_.burst_length;
+  const std::uint64_t bursts =
+      full * config_.burst_length + (rem > open ? rem - open : 0);
+  return wall_round + bursts;
+}
+
+FountainServer::Round FountainServer::round_at(std::uint64_t wall_round) const {
   Round round;
-  round.number = wall_round_;
-  round.burst = is_burst_round(wall_round_);
+  round.number = wall_round;
+  round.burst = is_burst_round(wall_round);
   round.layers.reserve(config_.layers);
+  const std::uint64_t schedule_round = schedule_rounds_before(wall_round);
   const std::uint64_t steps = round.burst ? 2 : 1;
   for (unsigned l = 0; l < config_.layers; ++l) {
     LayerRound lr;
     lr.layer = l;
-    lr.sync_point = is_sync_point(l, wall_round_);
+    lr.sync_point = is_sync_point(l, wall_round);
     for (std::uint64_t s = 0; s < steps; ++s) {
-      schedule_.append_layer_packets(l, schedule_round_ + s, lr.indices);
+      schedule_.append_layer_packets(l, schedule_round + s, lr.indices);
     }
     for (auto& index : lr.indices) index = permutation_[index];
     round.layers.push_back(std::move(lr));
   }
-  schedule_round_ += steps;
-  ++wall_round_;
   return round;
+}
+
+void FountainServer::emit(std::uint64_t round,
+                          engine::PacketBatch& batch) const {
+  const bool burst = is_burst_round(round);
+  batch.burst = burst;
+  const std::uint64_t schedule_round = schedule_rounds_before(round);
+  const std::uint64_t steps = burst ? 2 : 1;
+  for (unsigned l = 0; l < config_.layers; ++l) {
+    const auto begin = static_cast<std::uint32_t>(batch.indices.size());
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      schedule_.append_layer_packets(l, schedule_round + s, batch.indices);
+    }
+    for (std::size_t i = begin; i < batch.indices.size(); ++i) {
+      batch.indices[i] = permutation_[batch.indices[i]];
+    }
+    batch.segments.push_back(engine::PacketBatch::Segment{
+        l, is_sync_point(l, round), begin,
+        static_cast<std::uint32_t>(batch.indices.size())});
+  }
 }
 
 }  // namespace fountain::proto

@@ -4,25 +4,34 @@
 // (the burst that lets receivers probe for spare capacity without explicit
 // join experiments). During a burst the schedule simply advances twice as
 // fast, so burst packets are fresh data and the One Level Property is kept.
+//
+// The server is an engine::PacketSource: round_at()/emit() are pure
+// functions of the wall round (burst doubling has a closed form, see
+// schedule_rounds_before), so session cohorts can replay the transmission
+// plan from any point without server-side state.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "engine/packet_source.hpp"
+#include "fec/codec_id.hpp"
 #include "proto/config.hpp"
 #include "sched/layered_schedule.hpp"
 #include "util/random.hpp"
 
 namespace fountain::proto {
 
-class FountainServer {
+class FountainServer final : public engine::PacketSource {
  public:
   /// `permutation_seed` shuffles the mapping from schedule slots to encoding
   /// indices (the paper's servers cycle through a random permutation of the
   /// encoding); clients learn it from the control channel, but only the
-  /// scheduler here needs it.
+  /// scheduler here needs it. `codec` tags the code family the server
+  /// transmits (engine sessions quarantine mismatched sources).
   FountainServer(const ProtocolConfig& config, std::size_t encoding_length,
-                 std::uint64_t permutation_seed = 0x5eed);
+                 std::uint64_t permutation_seed = 0x5eed,
+                 fec::CodecId codec = fec::CodecId::kTornado);
 
   struct LayerRound {
     unsigned layer = 0;
@@ -36,8 +45,16 @@ class FountainServer {
     std::vector<LayerRound> layers;
   };
 
-  /// Produces the next round of transmissions and advances the schedule.
-  Round next_round();
+  /// The transmissions of wall round `wall_round` — a pure function.
+  Round round_at(std::uint64_t wall_round) const;
+
+  /// Convenience cursor over round_at for sequential drivers.
+  Round next_round() { return round_at(wall_round_++); }
+
+  // engine::PacketSource:
+  fec::CodecId codec_id() const override { return codec_; }
+  unsigned layer_count() const override { return config_.layers; }
+  void emit(std::uint64_t round, engine::PacketBatch& batch) const override;
 
   const sched::LayeredSchedule& schedule() const { return schedule_; }
   const ProtocolConfig& config() const { return config_; }
@@ -46,11 +63,16 @@ class FountainServer {
   bool is_sync_point(unsigned layer, std::uint64_t wall_round) const;
 
  private:
+  /// Schedule rounds consumed by wall rounds [0, wall_round): each wall
+  /// round advances the schedule by one, plus one extra per burst round
+  /// (bursts close each period, see is_burst_round).
+  std::uint64_t schedule_rounds_before(std::uint64_t wall_round) const;
+
   ProtocolConfig config_;
   sched::LayeredSchedule schedule_;
+  fec::CodecId codec_;
   std::vector<std::uint32_t> permutation_;
   std::uint64_t wall_round_ = 0;
-  std::uint64_t schedule_round_ = 0;
 };
 
 }  // namespace fountain::proto

@@ -2,47 +2,68 @@
 
 #include <memory>
 
+#include "net/loss.hpp"
 #include "proto/server.hpp"
 
 namespace fountain::proto {
+
+engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
+                                       const ProtocolConfig& proto,
+                                       std::uint64_t seed) {
+  engine::SubscriptionPolicy policy;
+  policy.initial_level = client.initial_level;
+  policy.adaptive = !client.fixed_level;
+  policy.initial_capacity = client.initial_capacity;
+  policy.capacity_change_prob = client.capacity_change_prob;
+  policy.congestion_extra_loss = client.congestion_extra_loss;
+  policy.drop_loss_threshold = proto.drop_loss_threshold;
+  policy.burst_probe_window = proto.burst_probe_window;
+  policy.seed = seed;
+  return policy;
+}
 
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
                           std::uint64_t seed, std::uint64_t max_rounds) {
-  FountainServer server(proto, code.encoded_count());
+  engine::SessionConfig engine_config;
+  engine_config.horizon = max_rounds;
+  engine::Session session(code, engine_config);
+  const auto server = std::make_shared<FountainServer>(
+      proto, code.encoded_count(), 0x5eed, code.codec_id());
+  const engine::SourceId source = session.add_source(server);
 
-  std::vector<std::unique_ptr<SimClient>> sims;
-  sims.reserve(clients.size());
   for (std::size_t i = 0; i < clients.size(); ++i) {
-    sims.push_back(std::make_unique<SimClient>(code, proto, clients[i],
-                                               seed + 1000003 * (i + 1)));
+    const SimClientConfig& client = clients[i];
+    // Distinct, deterministic streams per receiver: one for the channel, one
+    // for the adaptation draws.
+    const std::uint64_t rx_seed = seed + 1000003ULL * (i + 1);
+    engine::ReceiverSpec spec;
+    spec.join = client.join;
+    spec.policy = make_policy(client, proto, rx_seed ^ 0xada97a71c0ffee11ULL);
+    const engine::ReceiverId id = session.add_receiver(std::move(spec));
+    session.subscribe(id, source,
+                      std::make_unique<engine::LossLink>(
+                          std::make_unique<net::BernoulliLoss>(
+                              client.base_loss, rx_seed)));
   }
+
+  const std::vector<engine::ReceiverReport> reports = session.run();
 
   SessionResult result;
   result.receivers.resize(clients.size());
-  std::size_t done = 0;
-  for (std::uint64_t r = 0; r < max_rounds && done < sims.size(); ++r) {
-    const FountainServer::Round round = server.next_round();
-    for (std::size_t i = 0; i < sims.size(); ++i) {
-      if (result.receivers[i].completed) continue;
-      if (sims[i]->on_round(round)) {
-        result.receivers[i].completed = true;
-        result.receivers[i].rounds_to_complete = r + 1;
-        ++done;
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < sims.size(); ++i) {
+  const std::size_t k = code.source_count();
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const engine::ReceiverReport& er = reports[i];
     ReceiverReport& rep = result.receivers[i];
-    const SimClient& c = *sims[i];
+    rep.completed = er.completed;
     rep.configured_base_loss = clients[i].base_loss;
-    rep.observed_loss = c.observed_loss();
-    rep.eta = c.efficiency();
-    rep.eta_c = c.coding_efficiency();
-    rep.eta_d = c.distinctness_efficiency();
-    rep.level_changes = c.level_changes();
+    rep.observed_loss = er.observed_loss();
+    rep.eta = er.efficiency(k);
+    rep.eta_c = er.coding_efficiency(k);
+    rep.eta_d = er.distinctness_efficiency();
+    rep.level_changes = er.level_changes;
+    rep.rounds_to_complete = er.completed ? er.completed_at + 1 : 0;
   }
   return result;
 }

@@ -1,17 +1,32 @@
-// Discrete-event co-simulation of one digital-fountain server and a
-// population of receivers — the substitute for the paper's Berkeley/CMU/
-// Cornell testbed (Section 7.3). Produces per-receiver loss and efficiency
-// figures in the same form as the paper's Figure 8 scatter plots.
+// The Section 7 prototype session as an engine scenario — the substitute for
+// the paper's Berkeley/CMU/Cornell testbed (Section 7.3). run_session wires
+// one FountainServer source and a population of adaptive receivers into the
+// discrete-event session engine (one engine tick = one protocol round) and
+// reports per-receiver loss and efficiency figures in the same form as the
+// paper's Figure 8 scatter plots.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "engine/session.hpp"
 #include "fec/erasure_code.hpp"
-#include "proto/client.hpp"
 #include "proto/config.hpp"
 
 namespace fountain::proto {
+
+/// Per-receiver scenario knobs (the old SimClient's configuration): the
+/// background channel plus the Section 7.2 subscription machinery, which the
+/// engine's adaptive SubscriptionPolicy executes.
+struct SimClientConfig {
+  double base_loss = 0.05;             // background loss on every packet
+  double congestion_extra_loss = 0.45; // added when subscribed above capacity
+  double capacity_change_prob = 0.005; // per-round capacity re-draw
+  unsigned initial_level = 0;
+  unsigned initial_capacity = 3;       // in [0, layers)
+  bool fixed_level = false;            // single-layer experiments pin level 0
+  engine::Time join = 0;               // asynchronous joins (churn scenarios)
+};
 
 struct ReceiverReport {
   bool completed = false;
@@ -28,8 +43,14 @@ struct SessionResult {
   std::vector<ReceiverReport> receivers;
 };
 
+/// Translates one client's knobs into the engine policy it runs under.
+engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
+                                       const ProtocolConfig& proto,
+                                       std::uint64_t seed);
+
 /// Runs a session until every receiver completes (or `max_rounds` elapse).
-/// One SimClient per entry of `clients`; receiver i gets seed seed+i.
+/// One receiver per entry of `clients`; receiver i's channel and adaptation
+/// streams derive from seed + i deterministically.
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,

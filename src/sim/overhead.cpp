@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "engine/sources.hpp"
+
 namespace fountain::sim {
 
 std::vector<double> sample_overhead_distribution(const fec::ErasureCode& code,
@@ -12,51 +14,66 @@ std::vector<double> sample_overhead_distribution(const fec::ErasureCode& code,
   util::Rng rng(seed);
   const std::size_t n = code.encoded_count();
   const auto k = static_cast<double>(code.source_count());
-  auto decoder = code.make_structural_decoder();
 
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0U);
+  // Sessions are chunked so a large trial count does not hold every trial's
+  // carousel permutation in memory at once.
+  constexpr std::size_t kChunk = 256;
 
   std::vector<double> overheads;
   overheads.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    rng.shuffle(order);
-    decoder->reset();
-    std::size_t fed = 0;
-    for (const std::uint32_t index : order) {
-      ++fed;
-      if (decoder->add_index(index)) break;
+  for (std::size_t done = 0; done < trials; done += kChunk) {
+    const std::size_t count = std::min(kChunk, trials - done);
+    std::vector<carousel::Carousel> cycles;
+    cycles.reserve(count);  // CarouselSource borrows; no reallocation allowed
+    engine::SessionConfig config;
+    config.horizon = n;  // a lossless receiver needs at most one full cycle
+    engine::Session session(code, config);
+    for (std::size_t t = 0; t < count; ++t) {
+      cycles.push_back(carousel::Carousel::random_permutation(n, rng));
+      const engine::SourceId source = session.add_source(
+          std::make_shared<engine::CarouselSource>(cycles.back(),
+                                                   code.codec_id()));
+      const engine::ReceiverId receiver =
+          session.add_receiver(engine::ReceiverSpec{});
+      session.subscribe(receiver, source,
+                        std::make_unique<engine::PerfectLink>());
     }
-    if (!decoder->complete()) {
-      throw std::logic_error(
-          "sample_overhead_distribution: code failed with all packets");
+    for (const engine::ReceiverReport& report : session.run()) {
+      if (!report.completed) {
+        throw std::logic_error(
+            "sample_overhead_distribution: code failed with all packets");
+      }
+      overheads.push_back(static_cast<double>(report.received) / k - 1.0);
     }
-    overheads.push_back(static_cast<double>(fed) / k - 1.0);
   }
   return overheads;
 }
 
-std::vector<carousel::ReceptionResult> sample_carousel_receptions(
+std::vector<engine::ReceiverReport> sample_carousel_receptions(
     const fec::ErasureCode& code, const carousel::Carousel& carousel,
     const LossFactory& loss_factory, std::size_t trials, std::uint64_t seed,
     std::size_t max_cycles) {
   util::Rng rng(seed);
-  auto decoder = code.make_structural_decoder();
-  std::vector<std::uint8_t> seen(carousel.cycle_length(), 0);
-
-  std::vector<carousel::ReceptionResult> results;
-  results.reserve(trials);
+  const std::uint64_t cycle = carousel.cycle_length();
   const std::uint64_t max_slots =
-      static_cast<std::uint64_t>(max_cycles) * carousel.cycle_length();
+      static_cast<std::uint64_t>(max_cycles) * cycle;
+
+  engine::SessionConfig config;
+  config.horizon = cycle + max_slots;  // latest join phase + listen budget
+  engine::Session session(code, config);
+  const engine::SourceId source = session.add_source(
+      std::make_shared<engine::CarouselSource>(carousel, code.codec_id()));
+
   for (std::size_t t = 0; t < trials; ++t) {
-    decoder->reset();
-    std::fill(seen.begin(), seen.end(), 0);
     auto loss = loss_factory(t, rng);
-    const std::uint64_t start = rng.below(carousel.cycle_length());
-    results.push_back(carousel::simulate_reception(carousel, *decoder, *loss,
-                                                   start, max_slots, seen));
+    engine::ReceiverSpec spec;
+    spec.join = rng.below(cycle);
+    spec.leave = spec.join + max_slots;
+    const engine::ReceiverId receiver = session.add_receiver(std::move(spec));
+    session.subscribe(receiver, source,
+                      std::make_unique<engine::LossLink>(std::move(loss)));
   }
-  return results;
+  return session.run();
 }
 
 double expected_min_over(const std::vector<double>& pool,

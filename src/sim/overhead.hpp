@@ -1,6 +1,9 @@
-// Experiment primitives shared by the benches: reception-overhead sampling
-// (Figure 2), carousel reception sampling under loss (Figures 4-6), and
-// receiver-population order statistics (the "worst case receiver" curves).
+// Experiment primitives shared by the benches, expressed as engine
+// scenarios: reception-overhead sampling (Figure 2), carousel reception
+// sampling under loss (Figures 4-6), and receiver-population order
+// statistics (the "worst case receiver" curves). The old hand-rolled
+// per-trial drive loops are gone — every trial is a receiver in a
+// discrete-event session.
 #pragma once
 
 #include <cstdint>
@@ -9,7 +12,7 @@
 #include <vector>
 
 #include "carousel/carousel.hpp"
-#include "carousel/reception.hpp"
+#include "engine/session.hpp"
 #include "fec/erasure_code.hpp"
 #include "net/loss.hpp"
 #include "util/random.hpp"
@@ -19,7 +22,8 @@ namespace fountain::sim {
 /// Feeds each trial a fresh uniformly random order of *distinct* encoding
 /// packets until the decoder completes; returns one length-overhead sample
 /// (packets_needed / k - 1) per trial. This is exactly the paper's Figure 2
-/// experiment.
+/// experiment, run as multi-source engine sessions: every trial is a
+/// receiver draining its own freshly permuted lossless carousel.
 std::vector<double> sample_overhead_distribution(const fec::ErasureCode& code,
                                                  std::size_t trials,
                                                  std::uint64_t seed);
@@ -31,8 +35,10 @@ using LossFactory =
                                                   util::Rng& rng)>;
 
 /// Simulates `trials` receivers joining the carousel at random phases and
-/// listening until they can reconstruct. `max_cycles` bounds runaway trials.
-std::vector<carousel::ReceptionResult> sample_carousel_receptions(
+/// listening until they can reconstruct — one engine session, one receiver
+/// per trial, each behind its own link. `max_cycles` bounds how long any
+/// receiver listens. Reports are indexed by trial.
+std::vector<engine::ReceiverReport> sample_carousel_receptions(
     const fec::ErasureCode& code, const carousel::Carousel& carousel,
     const LossFactory& loss_factory, std::size_t trials, std::uint64_t seed,
     std::size_t max_cycles = 400);

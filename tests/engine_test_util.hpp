@@ -1,0 +1,35 @@
+// Shared test shorthand: run one receiver against one carousel through the
+// session engine — the single-receiver primitive the deleted
+// carousel::simulate_reception used to hand-roll.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "carousel/carousel.hpp"
+#include "engine/session.hpp"
+#include "engine/sources.hpp"
+#include "net/loss.hpp"
+
+namespace fountain::test {
+
+/// Joins `carousel` at tick `join` behind `loss` and listens for at most
+/// `max_slots` slots (one engine tick = one carousel slot).
+inline engine::ReceiverReport listen_to_carousel(
+    const fec::ErasureCode& code, const carousel::Carousel& carousel,
+    std::unique_ptr<net::LossModel> loss, engine::Time join,
+    engine::Time max_slots) {
+  engine::SessionConfig config;
+  config.horizon = join + max_slots;
+  engine::Session session(code, config);
+  const engine::SourceId source = session.add_source(
+      std::make_shared<engine::CarouselSource>(carousel, code.codec_id()));
+  engine::ReceiverSpec spec;
+  spec.join = join;
+  const engine::ReceiverId receiver = session.add_receiver(std::move(spec));
+  session.subscribe(receiver, source,
+                    std::make_unique<engine::LossLink>(std::move(loss)));
+  return session.run().front();
+}
+
+}  // namespace fountain::test

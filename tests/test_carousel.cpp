@@ -1,11 +1,11 @@
-// Carousel cycling and per-receiver reception simulation.
+// Carousel cycling and per-receiver reception through the session engine.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "carousel/carousel.hpp"
-#include "carousel/reception.hpp"
 #include "core/tornado.hpp"
+#include "engine_test_util.hpp"
 #include "fec/reed_solomon.hpp"
 #include "net/loss.hpp"
 #include "util/random.hpp"
@@ -14,6 +14,7 @@ namespace fountain {
 namespace {
 
 using carousel::Carousel;
+using test::listen_to_carousel;
 
 TEST(Carousel, SequentialOrderCycles) {
   const auto c = Carousel::sequential(5);
@@ -39,12 +40,11 @@ TEST(Reception, LosslessRsReceiverNeedsExactlyK) {
   const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 50, 50, 16);
   util::Rng rng(2);
   const auto c = Carousel::random_permutation(100, rng);
-  auto dec = code->make_structural_decoder();
-  net::BernoulliLoss loss(0.0, 3);
-  const auto r = carousel::simulate_reception(c, *dec, loss, 0, 100000);
+  const auto r = listen_to_carousel(
+      *code, c, std::make_unique<net::BernoulliLoss>(0.0, 3), 0, 100000);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.packets_received, 50u);
-  EXPECT_EQ(r.distinct_received, 50u);
+  EXPECT_EQ(r.received, 50u);
+  EXPECT_EQ(r.distinct, 50u);
   EXPECT_DOUBLE_EQ(r.efficiency(50), 1.0);
   EXPECT_DOUBLE_EQ(r.distinctness_efficiency(), 1.0);
 }
@@ -53,23 +53,22 @@ TEST(Reception, LossyReceiverStillCompletes) {
   const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 50, 50, 16);
   util::Rng rng(4);
   const auto c = Carousel::random_permutation(100, rng);
-  auto dec = code->make_structural_decoder();
-  net::BernoulliLoss loss(0.5, 5);
-  const auto r = carousel::simulate_reception(c, *dec, loss, 17, 1000000);
+  const auto r = listen_to_carousel(
+      *code, c, std::make_unique<net::BernoulliLoss>(0.5, 5), 17, 1000000);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.distinct_received, 50u);  // MDS still needs exactly 50 distinct
-  EXPECT_GE(r.packets_received, 50u);   // but duplicates may arrive first
-  EXPECT_GT(r.slots_elapsed, r.packets_received);  // some were lost
+  EXPECT_EQ(r.distinct, 50u);   // MDS still needs exactly 50 distinct
+  EXPECT_GE(r.received, 50u);   // but duplicates may arrive first
+  EXPECT_GT(r.lost, 0u);        // some were lost on the link
+  EXPECT_EQ(r.addressed, r.received + r.lost);
 }
 
-TEST(Reception, MaxSlotsAborts) {
+TEST(Reception, HorizonBoundsTheRun) {
   const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 50, 50, 16);
   const auto c = Carousel::sequential(100);
-  auto dec = code->make_structural_decoder();
-  net::BernoulliLoss loss(0.0, 6);
-  const auto r = carousel::simulate_reception(c, *dec, loss, 0, 10);
+  const auto r = listen_to_carousel(
+      *code, c, std::make_unique<net::BernoulliLoss>(0.0, 6), 0, 10);
   EXPECT_FALSE(r.completed);
-  EXPECT_EQ(r.slots_elapsed, 10u);
+  EXPECT_EQ(r.received, 10u);  // lossless: every slot inside the budget
 }
 
 TEST(Reception, StartOffsetChangesPhase) {
@@ -78,11 +77,10 @@ TEST(Reception, StartOffsetChangesPhase) {
   const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 20, 20, 16);
   const auto c = Carousel::sequential(40);
   for (std::uint64_t start : {0ULL, 7ULL, 39ULL}) {
-    auto dec = code->make_structural_decoder();
-    net::BernoulliLoss loss(0.0, 7);
-    const auto r = carousel::simulate_reception(c, *dec, loss, start, 1000);
+    const auto r = listen_to_carousel(
+        *code, c, std::make_unique<net::BernoulliLoss>(0.0, 7), start, 1000);
     EXPECT_TRUE(r.completed);
-    EXPECT_EQ(r.packets_received, 20u);
+    EXPECT_EQ(r.received, 20u);
   }
 }
 
@@ -90,13 +88,12 @@ TEST(Reception, TornadoOverheadVisibleInEfficiency) {
   core::TornadoCode code(core::TornadoParams::tornado_a(1000, 16, 5));
   util::Rng rng(8);
   const auto c = Carousel::random_permutation(code.encoded_count(), rng);
-  auto dec = code.make_structural_decoder();
-  net::BernoulliLoss loss(0.0, 9);
-  const auto r = carousel::simulate_reception(c, *dec, loss, 0, 100000);
+  const auto r = listen_to_carousel(
+      code, c, std::make_unique<net::BernoulliLoss>(0.0, 9), 0, 100000);
   ASSERT_TRUE(r.completed);
   // Tornado needs (1 + eps) k with small positive eps.
-  EXPECT_GT(r.packets_received, 1000u);
-  EXPECT_LT(r.packets_received, 1200u);
+  EXPECT_GT(r.received, 1000u);
+  EXPECT_LT(r.received, 1200u);
   EXPECT_GT(r.efficiency(1000), 0.8);
   EXPECT_LT(r.efficiency(1000), 1.0);
 }
@@ -107,23 +104,11 @@ TEST(Reception, DuplicatesAppearUnderHighLossSmallStretch) {
   core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 6));
   util::Rng rng(10);
   const auto c = Carousel::random_permutation(code.encoded_count(), rng);
-  auto dec = code.make_structural_decoder();
-  net::BernoulliLoss loss(0.6, 11);
-  const auto r = carousel::simulate_reception(c, *dec, loss, 0, 10000000);
+  const auto r = listen_to_carousel(
+      code, c, std::make_unique<net::BernoulliLoss>(0.6, 11), 0, 10000000);
   ASSERT_TRUE(r.completed);
   EXPECT_LT(r.distinctness_efficiency(), 1.0);
-  EXPECT_GT(r.packets_received, r.distinct_received);
-}
-
-TEST(Reception, ScratchTooSmallThrows) {
-  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 5, 5, 16);
-  const auto c = Carousel::sequential(10);
-  auto dec = code->make_structural_decoder();
-  net::BernoulliLoss loss(0.0, 1);
-  std::vector<std::uint8_t> tiny(3, 0);
-  EXPECT_THROW(
-      carousel::simulate_reception(c, *dec, loss, 0, 100, tiny),
-      std::invalid_argument);
+  EXPECT_GT(r.received, r.distinct);
 }
 
 }  // namespace

@@ -1,0 +1,369 @@
+// The discrete-event session engine: sources, links, sinks, cohort pooling,
+// churn (asynchronous join/leave and mid-cycle level changes), multi-source
+// aggregation, codec quarantine, and loss-regime changes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "carousel/carousel.hpp"
+#include "core/tornado.hpp"
+#include "engine/session.hpp"
+#include "engine/sources.hpp"
+#include "fec/reed_solomon.hpp"
+#include "net/loss.hpp"
+#include "proto/server.hpp"
+#include "util/random.hpp"
+
+namespace fountain {
+namespace {
+
+using engine::CarouselSource;
+using engine::LossLink;
+using engine::PacketBatch;
+using engine::PerfectLink;
+using engine::ReceiverId;
+using engine::ReceiverReport;
+using engine::ReceiverSpec;
+using engine::Session;
+using engine::SessionConfig;
+using engine::SourceId;
+using engine::StridedCarouselSource;
+
+/// Records every delivery and never completes (runs until leave/horizon).
+class RecordingSink final : public engine::PacketSink {
+ public:
+  struct Rec {
+    engine::Time at;
+    unsigned layer;
+    std::uint32_t index;
+  };
+
+  bool on_packet(const engine::Delivery& d) override {
+    recs_.push_back(Rec{d.at, d.layer, d.index});
+    return false;
+  }
+  bool complete() const override { return false; }
+  void reset() override { recs_.clear(); }
+
+  const std::vector<Rec>& recs() const { return recs_; }
+
+ private:
+  std::vector<Rec> recs_;
+};
+
+TEST(Sources, CarouselSourceIsPureAndCyclic) {
+  const auto c = carousel::Carousel::sequential(5);
+  CarouselSource source(c, fec::CodecId::kReedSolomon, 2);
+  EXPECT_EQ(source.codec_id(), fec::CodecId::kReedSolomon);
+  PacketBatch batch;
+  source.emit(3, batch);  // slots 6, 7 -> indices 1, 2
+  ASSERT_EQ(batch.indices.size(), 2u);
+  EXPECT_EQ(batch.indices[0], 1u);
+  EXPECT_EQ(batch.indices[1], 2u);
+  ASSERT_EQ(batch.segments.size(), 1u);
+  EXPECT_EQ(batch.segments[0].layer, 0u);
+  // Purity: same round, same batch.
+  PacketBatch again;
+  source.emit(3, again);
+  EXPECT_EQ(again.indices, batch.indices);
+}
+
+TEST(Sources, StridedCarouselSourceDealsEveryNthSlot) {
+  const auto c = carousel::Carousel::sequential(10);
+  StridedCarouselSource path1(c, fec::CodecId::kTornado, 1, 3);
+  PacketBatch batch;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    batch.clear();
+    path1.emit(r, batch);
+    ASSERT_EQ(batch.indices.size(), 1u);
+    EXPECT_EQ(batch.indices[0], (1 + 3 * r) % 10);
+  }
+}
+
+TEST(Links, LossLinkAppliesRegimeChangesAtTheirTick) {
+  // Clean until tick 100, then a total outage (all-ones trace).
+  auto outage = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1});
+  LossLink link(std::make_unique<net::BernoulliLoss>(0.0, 1));
+  link.add_regime(100, std::make_unique<net::TraceLoss>(outage, 0));
+  for (engine::Time t = 0; t < 100; ++t) EXPECT_TRUE(link.deliver(t)) << t;
+  for (engine::Time t = 100; t < 120; ++t) EXPECT_FALSE(link.deliver(t)) << t;
+  EXPECT_THROW(link.add_regime(50, std::make_unique<net::BernoulliLoss>(0, 2)),
+               std::invalid_argument);
+}
+
+TEST(SessionChurn, AsynchronousJoinAndLeave) {
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 40, 40, 16);
+  const auto c = carousel::Carousel::sequential(80);
+  SessionConfig config;
+  config.horizon = 500;
+  Session session(*code, config);
+  const SourceId src = session.add_source(
+      std::make_shared<CarouselSource>(c, code->codec_id()));
+
+  // Receiver 0 leaves after 10 slots (incomplete); receiver 1 joins late and
+  // completes anyway.
+  ReceiverSpec early;
+  early.join = 0;
+  early.leave = 10;
+  const ReceiverId r0 = session.add_receiver(std::move(early));
+  session.subscribe(r0, src, std::make_unique<PerfectLink>());
+
+  ReceiverSpec late;
+  late.join = 300;
+  const ReceiverId r1 = session.add_receiver(std::move(late));
+  session.subscribe(r1, src, std::make_unique<PerfectLink>());
+
+  const auto reports = session.run();
+  EXPECT_FALSE(reports[r0.value].completed);
+  EXPECT_EQ(reports[r0.value].received, 10u);
+  EXPECT_TRUE(reports[r1.value].completed);
+  EXPECT_EQ(reports[r1.value].received, 40u);  // MDS: exactly k, any phase
+  EXPECT_GE(reports[r1.value].completed_at, 300u);
+}
+
+TEST(SessionChurn, MidCycleLevelChangeKeepsWindowDistinctness) {
+  // The engine churn path must preserve the Table 5 distinctness guarantee
+  // piecewise: within every maximal fixed-level span, each full pass at that
+  // level (a window of n / (level_rate * blocks) rounds, measured from the
+  // span's first round) carries no duplicate packet. This is the any-phase
+  // One Level Property (test_schedule) observed end-to-end through a
+  // receiver whose subscription changes mid-cycle.
+  core::TornadoCode code(core::TornadoParams::tornado_a(32, 16, 3));
+  const std::size_t n = code.encoded_count();  // 64
+  proto::ProtocolConfig cfg;
+  cfg.layers = 4;
+  cfg.burst_period = 0;  // constant rate; spans are exact
+  const auto server = std::make_shared<proto::FountainServer>(
+      cfg, n, 0x5eed, code.codec_id());
+
+  SessionConfig config;
+  config.horizon = 24;
+  Session session(code, config);
+  const SourceId src = session.add_source(server);
+
+  ReceiverSpec spec;
+  spec.policy.initial_level = 2;
+  spec.moves.push_back(engine::ScriptedMove{3, 1});   // drop mid-cycle
+  spec.moves.push_back(engine::ScriptedMove{9, 3});   // later, jump to full
+  spec.sink = std::make_unique<RecordingSink>();
+  auto* sink = static_cast<RecordingSink*>(spec.sink.get());
+  const ReceiverId id = session.add_receiver(std::move(spec));
+  session.subscribe(id, src, std::make_unique<PerfectLink>());
+
+  const auto report = session.run().front();
+  EXPECT_EQ(report.level_changes, 2u);
+
+  struct Span {
+    engine::Time begin;
+    engine::Time end;
+    unsigned level;
+  };
+  const Span spans[] = {{0, 3, 2}, {3, 9, 1}, {9, 24, 3}};
+  const std::size_t blocks = server->schedule().block_count();
+  for (const Span& span : spans) {
+    const std::size_t per_round =
+        server->schedule().level_rate(span.level) * blocks;
+    ASSERT_EQ(n % per_round, 0u);
+    const engine::Time window = n / per_round;
+    for (engine::Time w = span.begin; w < span.end; w += window) {
+      const engine::Time w_end = std::min<engine::Time>(w + window, span.end);
+      std::set<std::uint32_t> seen;
+      for (const auto& rec : sink->recs()) {
+        if (rec.at < w || rec.at >= w_end) continue;
+        EXPECT_TRUE(seen.insert(rec.index).second)
+            << "duplicate " << rec.index << " in window [" << w << ", "
+            << w_end << ") at level " << span.level;
+      }
+      // A complete window is a full pass over the encoding.
+      if (w_end == w + window) {
+        EXPECT_EQ(seen.size(), n);
+      }
+    }
+  }
+}
+
+TEST(SessionMultiSource, MirrorsComplementEachOther) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(400, 16, 7));
+  util::Rng rng(3);
+  carousel::Carousel m0 =
+      carousel::Carousel::random_permutation(code.encoded_count(), rng);
+  carousel::Carousel m1 =
+      carousel::Carousel::random_permutation(code.encoded_count(), rng);
+
+  SessionConfig config;
+  config.horizon = 100000;
+  Session session(code, config);
+  const SourceId s0 = session.add_source(
+      std::make_shared<CarouselSource>(m0, code.codec_id()));
+  const SourceId s1 = session.add_source(
+      std::make_shared<CarouselSource>(m1, code.codec_id()));
+  const ReceiverId id = session.add_receiver(ReceiverSpec{});
+  session.subscribe(id, s0, std::make_unique<PerfectLink>());
+  session.subscribe(id, s1, std::make_unique<PerfectLink>());
+
+  const auto report = session.run().front();
+  ASSERT_TRUE(report.completed);
+  // Two mirrors per tick: finishes in roughly half the slots one needs.
+  EXPECT_LT(report.completed_at, 400u);
+  // Independent permutations collide occasionally; accounting must separate
+  // the duplicates from the distinct stream.
+  EXPECT_GE(report.received, report.distinct);
+  EXPECT_GE(report.distinct, 400u);
+}
+
+TEST(SessionMultiSource, MismatchedCodecIsQuarantined) {
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 30, 30, 16);
+  const auto c = carousel::Carousel::sequential(code->encoded_count());
+
+  SessionConfig config;
+  config.horizon = 10000;
+  Session session(*code, config);
+  const SourceId good = session.add_source(
+      std::make_shared<CarouselSource>(c, code->codec_id()));
+  // An impostor mirror announcing a different code family: its packets must
+  // be counted but never decoded.
+  const SourceId impostor = session.add_source(
+      std::make_shared<CarouselSource>(c, fec::CodecId::kTornado));
+  const ReceiverId id = session.add_receiver(ReceiverSpec{});
+  session.subscribe(id, good, std::make_unique<PerfectLink>());
+  session.subscribe(id, impostor, std::make_unique<PerfectLink>());
+
+  const auto report = session.run().front();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(report.distinct, 30u);  // only the matching source decodes
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_EQ(report.received, report.distinct + report.rejected);
+}
+
+TEST(SessionDataPath, StridedSourcesReconstructPayload) {
+  // Dispersity-style: three paths deal one permutation, per-path loss, one
+  // DataSink destination; the payload must round-trip bit-exact.
+  core::TornadoCode code(core::TornadoParams::tornado_a(300, 32, 9));
+  util::SymbolMatrix file(300, 32);
+  file.fill_random(21);
+  util::SymbolMatrix encoding(code.encoded_count(), 32);
+  code.encode(file, encoding);
+
+  util::Rng rng(5);
+  const auto order =
+      carousel::Carousel::random_permutation(code.encoded_count(), rng);
+
+  SessionConfig config;
+  config.horizon = 100000;
+  Session session(code, config);
+  ReceiverSpec spec;
+  spec.sink = std::make_unique<engine::DataSink>(code.make_decoder(),
+                                                 encoding);
+  auto* sink = static_cast<engine::DataSink*>(spec.sink.get());
+  const ReceiverId id = session.add_receiver(std::move(spec));
+  for (unsigned p = 0; p < 3; ++p) {
+    const SourceId src = session.add_source(
+        std::make_shared<StridedCarouselSource>(order, code.codec_id(), p, 3),
+        /*start=*/p, /*period=*/3);
+    session.subscribe(id, src,
+                      std::make_unique<LossLink>(
+                          std::make_unique<net::BernoulliLoss>(0.1 * p,
+                                                               rng())));
+  }
+
+  const auto report = session.run().front();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(sink->source(), file);
+}
+
+TEST(SessionPooling, SinksAreReusedAcrossCohorts) {
+  // cohort_size 1 forces every receiver through the same pooled slot; the
+  // default StructuralSink and a pooled DataSink must both reset cleanly
+  // (this drives fec::IncrementalDecoder::reset through the engine).
+  core::TornadoCode code(core::TornadoParams::tornado_a(200, 16, 11));
+  util::SymbolMatrix file(200, 16);
+  file.fill_random(31);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(file, encoding);
+  const auto order = carousel::Carousel::sequential(code.encoded_count());
+
+  for (const bool data_sinks : {false, true}) {
+    SessionConfig config;
+    config.horizon = 100000;
+    config.cohort_size = 1;
+    Session session(code, config);
+    const SourceId src = session.add_source(
+        std::make_shared<CarouselSource>(order, code.codec_id()));
+    if (data_sinks) {
+      session.set_sink_factory([&code, &encoding] {
+        return std::make_unique<engine::DataSink>(code.make_decoder(),
+                                                  encoding);
+      });
+    }
+    for (int r = 0; r < 4; ++r) {
+      ReceiverSpec spec;
+      spec.join = 37 * r;
+      const ReceiverId id = session.add_receiver(std::move(spec));
+      session.subscribe(id, src,
+                        std::make_unique<LossLink>(
+                            std::make_unique<net::BernoulliLoss>(0.2, 40 + r)));
+    }
+    for (const auto& report : session.run()) {
+      EXPECT_TRUE(report.completed) << "data_sinks=" << data_sinks;
+    }
+  }
+}
+
+TEST(SessionScale, GilbertElliottPopulationCompletes) {
+  // A miniature of the 100k-receiver bench: heterogeneous bursty links,
+  // staggered joins, several cohorts.
+  core::TornadoCode code(core::TornadoParams::tornado_a(300, 16, 13));
+  util::Rng rng(17);
+  const auto order =
+      carousel::Carousel::random_permutation(code.encoded_count(), rng);
+
+  SessionConfig config;
+  config.horizon = 400ull * code.encoded_count();
+  config.cohort_size = 256;
+  Session session(code, config);
+  const SourceId src = session.add_source(
+      std::make_shared<CarouselSource>(order, code.codec_id()));
+  const std::size_t population = 1500;
+  for (std::size_t r = 0; r < population; ++r) {
+    ReceiverSpec spec;
+    spec.join = rng.below(code.encoded_count());
+    const ReceiverId id = session.add_receiver(std::move(spec));
+    session.subscribe(
+        id, src,
+        std::make_unique<LossLink>(std::make_unique<net::GilbertElliottLoss>(
+            0.02 + 0.3 * rng.uniform(), 1.5 + 8.0 * rng.uniform(), rng())));
+  }
+  std::size_t completed = 0;
+  for (const auto& report : session.run()) completed += report.completed;
+  EXPECT_EQ(completed, population);
+}
+
+TEST(SessionValidation, RejectsMalformedScenarios) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(100, 16, 15));
+  const auto order = carousel::Carousel::sequential(code.encoded_count());
+  Session session(code);
+  const SourceId src = session.add_source(
+      std::make_shared<CarouselSource>(order, code.codec_id()));
+  EXPECT_THROW(session.add_source(nullptr), std::invalid_argument);
+
+  ReceiverSpec backwards;
+  backwards.join = 10;
+  backwards.leave = 10;  // must leave strictly after joining
+  EXPECT_THROW(session.add_receiver(std::move(backwards)),
+               std::invalid_argument);
+
+  const ReceiverId id = session.add_receiver(ReceiverSpec{});
+  EXPECT_THROW(session.subscribe(id, src, nullptr), std::invalid_argument);
+  EXPECT_THROW(session.subscribe(ReceiverId{99}, src,
+                                 std::make_unique<PerfectLink>()),
+               std::out_of_range);
+  session.subscribe(id, src, std::make_unique<PerfectLink>());
+  session.run();
+  EXPECT_THROW(session.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fountain

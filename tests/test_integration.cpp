@@ -122,7 +122,8 @@ TEST(EndToEnd, UdpLoopbackFountainTransfer) {
       ++serial;
       if (drop.lost()) continue;
       const auto wire = net::frame_packet(
-          net::PacketHeader{index, serial, 0}, encoding.row(index));
+          net::PacketHeader{index, serial, code.codec_id(), 0},
+          encoding.row(index));
       server_sock.send_to({"127.0.0.1", client_port},
                           util::ConstByteSpan(wire));
       if (t % 64 == 0) {
@@ -138,6 +139,7 @@ TEST(EndToEnd, UdpLoopbackFountainTransfer) {
     ASSERT_TRUE(datagram.has_value()) << "server went quiet";
     const auto parsed = net::parse_packet(util::ConstByteSpan(datagram->payload));
     ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->header.codec, code.codec_id());
     ASSERT_EQ(parsed->payload.size(), payload_bytes);
     done = client.on_packet(parsed->header.packet_index, parsed->payload);
   }

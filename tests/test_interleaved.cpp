@@ -167,5 +167,37 @@ TEST(Interleaved, StretchBelowTwo) {
   EXPECT_EQ(code.block_encoded_count(0), 30u);
 }
 
+TEST(Interleaved, CodecIdIsInterleaved) {
+  InterleavedCode code(40, 2, 16);
+  EXPECT_EQ(code.codec_id(), fec::CodecId::kInterleaved);
+}
+
+TEST(Interleaved, DecoderResetReusesAcrossReceivers) {
+  // reset() must clear every block's partial state so one payload decoder
+  // serves several simulated receivers without reallocation.
+  InterleavedCode code(60, 4, 16);
+  util::SymbolMatrix source(60, 16);
+  source.fill_random(5);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+
+  auto decoder = code.make_decoder();
+  util::Rng rng(6);
+  for (int receiver = 0; receiver < 3; ++receiver) {
+    decoder->reset();
+    EXPECT_FALSE(decoder->complete());
+    const auto order = rng.permutation(code.encoded_count());
+    bool done = false;
+    for (const auto index : order) {
+      if (decoder->add_symbol(index, encoding.row(index))) {
+        done = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(done) << receiver;
+    EXPECT_EQ(util::SymbolMatrix(decoder->source()), source) << receiver;
+  }
+}
+
 }  // namespace
 }  // namespace fountain

@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "net/loss.hpp"
 #include "net/packet_header.hpp"
@@ -46,6 +47,50 @@ TEST(GilbertElliott, StationaryLossRate) {
   const int n = 400000;
   for (int i = 0; i < n; ++i) lost += loss.lost();
   EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.01);
+}
+
+TEST(GilbertElliott, StationaryRateAndBurstLengthMatchConfiguration) {
+  // Statistical check across the parameter plane: the observed stationary
+  // loss fraction and the observed mean BAD-run length must both match the
+  // configured (loss_rate, mean_burst) within tolerance. Seeded and
+  // deterministic.
+  const int n = 600000;
+  const std::pair<double, double> configs[] = {
+      {0.05, 2.0}, {0.2, 5.0}, {0.35, 12.0}, {0.5, 8.0}};
+  std::uint64_t seed = 100;
+  for (const auto& [rate, burst] : configs) {
+    net::GilbertElliottLoss loss(rate, burst, seed++);
+    std::int64_t lost = 0;
+    std::vector<int> runs;
+    int current = 0;
+    for (int i = 0; i < n; ++i) {
+      if (loss.lost()) {
+        ++lost;
+        ++current;
+      } else if (current > 0) {
+        runs.push_back(current);
+        current = 0;
+      }
+    }
+    const double observed_rate = static_cast<double>(lost) / n;
+    EXPECT_NEAR(observed_rate, rate, 0.05 * rate + 0.005)
+        << "rate=" << rate << " burst=" << burst;
+    ASSERT_FALSE(runs.empty());
+    double mean_run = 0.0;
+    for (int r : runs) mean_run += r;
+    mean_run /= static_cast<double>(runs.size());
+    EXPECT_NEAR(mean_run, burst, 0.08 * burst)
+        << "rate=" << rate << " burst=" << burst;
+  }
+}
+
+TEST(GilbertElliott, TransitionProbabilitiesMatchClosedForm) {
+  // pi_bad = p_gb / (p_gb + p_bg) and mean burst = 1 / p_bg.
+  net::GilbertElliottLoss loss(0.3, 7.0, 1);
+  EXPECT_NEAR(loss.p_bad_to_good(), 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(loss.p_good_to_bad() /
+                  (loss.p_good_to_bad() + loss.p_bad_to_good()),
+              0.3, 1e-12);
 }
 
 TEST(GilbertElliott, BurstsAreLongerThanBernoulli) {
@@ -146,29 +191,31 @@ TEST(PacketHeader, WireFormatIsBigEndian) {
   net::PacketHeader h;
   h.packet_index = 0x01020304;
   h.serial = 0x0A0B0C0D;
-  h.group = 0x00000002;
+  h.codec = fec::CodecId::kInterleaved;
+  h.group = 0x0102;
   std::vector<std::uint8_t> buf(12);
   h.serialize(util::ByteSpan(buf));
   const std::vector<std::uint8_t> expect{0x01, 0x02, 0x03, 0x04, 0x0A, 0x0B,
-                                         0x0C, 0x0D, 0x00, 0x00, 0x00, 0x02};
+                                         0x0C, 0x0D, 0x02, 0x00, 0x01, 0x02};
   EXPECT_EQ(buf, expect);
   EXPECT_EQ(net::PacketHeader::parse(util::ConstByteSpan(buf)), h);
 }
 
 TEST(PacketHeader, HeaderIsTwelveBytes) {
-  // The paper: 500-byte payload + 12 bytes of tag = 512-byte packets.
+  // The paper: 500-byte payload + 12 bytes of tag = 512-byte packets. The
+  // codec byte rides inside the 12 (the group field is 16 bits).
   EXPECT_EQ(net::PacketHeader::kWireSize, 12u);
   util::SymbolMatrix payload(1, 500);
   payload.fill_random(1);
-  const auto wire = net::frame_packet(net::PacketHeader{7, 8, 9},
-                                      payload.row(0));
+  const auto wire = net::frame_packet(
+      net::PacketHeader{7, 8, fec::CodecId::kTornado, 9}, payload.row(0));
   EXPECT_EQ(wire.size(), 512u);
 }
 
 TEST(PacketHeader, FrameParseRoundTrip) {
   util::SymbolMatrix payload(1, 100);
   payload.fill_random(2);
-  net::PacketHeader h{123456, 789, 3};
+  net::PacketHeader h{123456, 789, fec::CodecId::kReedSolomon, 3};
   const auto wire = net::frame_packet(h, payload.row(0));
   const auto parsed = net::parse_packet(util::ConstByteSpan(wire));
   ASSERT_TRUE(parsed.has_value());
@@ -176,6 +223,21 @@ TEST(PacketHeader, FrameParseRoundTrip) {
   ASSERT_EQ(parsed->payload.size(), 100u);
   EXPECT_TRUE(std::equal(parsed->payload.begin(), parsed->payload.end(),
                          payload.row(0).begin()));
+}
+
+TEST(PacketHeader, CodecByteRoundTripsForEveryFamily) {
+  // Serialize/parse must preserve the codec id for each code family, so
+  // multi-source clients can reject mismatched senders by header alone.
+  for (const fec::CodecId codec :
+       {fec::CodecId::kTornado, fec::CodecId::kReedSolomon,
+        fec::CodecId::kInterleaved}) {
+    net::PacketHeader h{42, 7, codec, 1};
+    std::vector<std::uint8_t> buf(net::PacketHeader::kWireSize);
+    h.serialize(util::ByteSpan(buf));
+    const auto back = net::PacketHeader::parse(util::ConstByteSpan(buf));
+    EXPECT_EQ(back.codec, codec);
+    EXPECT_EQ(back, h);
+  }
 }
 
 TEST(PacketHeader, ShortBufferRejected) {

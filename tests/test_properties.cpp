@@ -7,8 +7,8 @@
 #include <memory>
 
 #include "carousel/carousel.hpp"
-#include "carousel/reception.hpp"
 #include "core/tornado.hpp"
+#include "engine_test_util.hpp"
 #include "fec/interleaved.hpp"
 #include "fec/reed_solomon.hpp"
 #include "net/loss.hpp"
@@ -136,10 +136,9 @@ TEST(MetricIdentities, EfficiencyFactorsMultiply) {
   const auto carousel =
       carousel::Carousel::random_permutation(code->encoded_count(), rng);
   for (const double p : {0.0, 0.3, 0.6}) {
-    auto dec = code->make_structural_decoder();
-    net::BernoulliLoss loss(p, rng());
-    const auto r =
-        carousel::simulate_reception(carousel, *dec, loss, 3, 1000000);
+    const auto r = test::listen_to_carousel(
+        *code, carousel, std::make_unique<net::BernoulliLoss>(p, rng()), 3,
+        1000000);
     ASSERT_TRUE(r.completed);
     EXPECT_NEAR(r.efficiency(30),
                 r.coding_efficiency(30) * r.distinctness_efficiency(), 1e-12);
@@ -168,11 +167,10 @@ TEST(Determinism, WholePipelineIsSeedStable) {
     util::Rng rng(11);
     const auto carousel =
         carousel::Carousel::random_permutation(code.encoded_count(), rng);
-    auto dec = code.make_structural_decoder();
-    net::BernoulliLoss loss(0.2, 13);
-    const auto r =
-        carousel::simulate_reception(carousel, *dec, loss, 5, 100000);
-    return std::make_pair(enc, r.packets_received);
+    const auto r = test::listen_to_carousel(
+        code, carousel, std::make_unique<net::BernoulliLoss>(0.2, 13), 5,
+        100000);
+    return std::make_pair(enc, r.received);
   };
   const auto [enc1, count1] = run();
   const auto [enc2, count2] = run();

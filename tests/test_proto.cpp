@@ -1,10 +1,12 @@
-// Digital-fountain protocol: server scheduling, client subscription
-// behaviour, the statistical decoding client, and whole sessions.
+// Digital-fountain protocol: server scheduling, receiver subscription
+// behaviour (now executed by the engine's adaptive policy), the statistical
+// decoding client, and whole sessions.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "core/tornado.hpp"
+#include "fec/reed_solomon.hpp"
 #include "proto/client.hpp"
 #include "proto/server.hpp"
 #include "proto/session.hpp"
@@ -14,7 +16,6 @@ namespace {
 
 using proto::FountainServer;
 using proto::ProtocolConfig;
-using proto::SimClient;
 using proto::SimClientConfig;
 
 ProtocolConfig small_config() {
@@ -113,76 +114,137 @@ TEST(Server, OneLevelPropertySurvivesBursts) {
   EXPECT_EQ(received, 64u);
 }
 
-TEST(SimClient, LosslessFixedLevelIsPerfectlyEfficient) {
-  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 1));
+TEST(Server, RoundAtIsPureAndMatchesTheCursor) {
+  // round_at must be a pure function of the wall round (the engine replays
+  // it from arbitrary points), and next_round just walks it.
   ProtocolConfig cfg = small_config();
-  SimClientConfig client_cfg;
-  client_cfg.base_loss = 0.0;
-  client_cfg.fixed_level = true;
-  client_cfg.initial_level = 3;
-  SimClient client(code, cfg, client_cfg, 7);
-  FountainServer server(cfg, code.encoded_count());
-  while (!client.complete()) client.on_round(server.next_round());
-  EXPECT_DOUBLE_EQ(client.distinctness_efficiency(), 1.0);
-  EXPECT_DOUBLE_EQ(client.observed_loss(), 0.0);
-  // eta == eta_c in the no-duplicate regime; Tornado overhead keeps it < 1.
-  EXPECT_GT(client.efficiency(), 0.85);
-  EXPECT_LE(client.efficiency(), 1.0);
-  EXPECT_EQ(client.level_changes(), 0u);
+  cfg.burst_period = 3;
+  FountainServer server(cfg, 64);
+  FountainServer cursor(cfg, 64);
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    const auto direct = server.round_at(r);
+    const auto walked = cursor.next_round();
+    ASSERT_EQ(direct.layers.size(), walked.layers.size()) << r;
+    EXPECT_EQ(direct.burst, walked.burst) << r;
+    for (std::size_t l = 0; l < direct.layers.size(); ++l) {
+      EXPECT_EQ(direct.layers[l].indices, walked.layers[l].indices) << r;
+      EXPECT_EQ(direct.layers[l].sync_point, walked.layers[l].sync_point) << r;
+    }
+    // Replaying an earlier round later must give the same answer.
+    if (r >= 10) {
+      EXPECT_EQ(server.round_at(r - 10).layers[0].indices,
+                cursor.round_at(r - 10).layers[0].indices);
+    }
+  }
 }
 
-TEST(SimClient, ModerateLossStillNoDuplicatesAtFixedLevel) {
+TEST(Server, EmitMatchesRoundAt) {
+  // The engine batch view and the Round view are two encodings of the same
+  // transmissions.
+  ProtocolConfig cfg = small_config();
+  cfg.burst_period = 4;
+  FountainServer server(cfg, 64);
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    engine::PacketBatch batch;
+    server.emit(r, batch);
+    const auto round = server.round_at(r);
+    EXPECT_EQ(batch.burst, round.burst) << r;
+    ASSERT_EQ(batch.segments.size(), round.layers.size()) << r;
+    for (std::size_t l = 0; l < batch.segments.size(); ++l) {
+      const auto& seg = batch.segments[l];
+      EXPECT_EQ(seg.layer, round.layers[l].layer);
+      EXPECT_EQ(seg.sync_point, round.layers[l].sync_point);
+      const std::vector<std::uint32_t> slice(
+          batch.indices.begin() + seg.begin, batch.indices.begin() + seg.end);
+      EXPECT_EQ(slice, round.layers[l].indices) << r << " layer " << l;
+    }
+  }
+}
+
+// One fixed-level receiver listening to the server through the engine.
+proto::ReceiverReport run_one(const fec::ErasureCode& code,
+                              const ProtocolConfig& cfg,
+                              const SimClientConfig& client,
+                              std::uint64_t seed) {
+  const auto result = proto::run_session(code, cfg, {client}, seed, 200000);
+  return result.receivers.front();
+}
+
+TEST(Receiver, LosslessFixedLevelIsPerfectlyEfficient) {
+  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 1));
+  ProtocolConfig cfg = small_config();
+  SimClientConfig client;
+  client.base_loss = 0.0;
+  client.fixed_level = true;
+  client.initial_level = 3;
+  const auto r = run_one(code, cfg, client, 7);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.eta_d, 1.0);
+  EXPECT_DOUBLE_EQ(r.observed_loss, 0.0);
+  // eta == eta_c in the no-duplicate regime; Tornado overhead keeps it < 1.
+  EXPECT_GT(r.eta, 0.85);
+  EXPECT_LE(r.eta, 1.0);
+  EXPECT_EQ(r.level_changes, 0u);
+}
+
+TEST(Receiver, ModerateLossStillNoDuplicatesAtFixedLevel) {
   // One Level Property: below (c-1-eps)/c loss, a fixed-level receiver
   // completes before any duplicate arrives.
   core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 2));
   ProtocolConfig cfg = small_config();
-  SimClientConfig client_cfg;
-  client_cfg.base_loss = 0.30;
-  client_cfg.fixed_level = true;
-  client_cfg.initial_level = 3;
-  SimClient client(code, cfg, client_cfg, 8);
-  FountainServer server(cfg, code.encoded_count());
-  while (!client.complete()) client.on_round(server.next_round());
-  EXPECT_DOUBLE_EQ(client.distinctness_efficiency(), 1.0);
-  EXPECT_NEAR(client.observed_loss(), 0.30, 0.05);
+  SimClientConfig client;
+  client.base_loss = 0.30;
+  client.fixed_level = true;
+  client.initial_level = 3;
+  const auto r = run_one(code, cfg, client, 8);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.eta_d, 1.0);
+  EXPECT_NEAR(r.observed_loss, 0.30, 0.05);
 }
 
-TEST(SimClient, SevereLossForcesDuplicates) {
+TEST(Receiver, SevereLossForcesDuplicates) {
   core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 3));
   ProtocolConfig cfg = small_config();
-  SimClientConfig client_cfg;
-  client_cfg.base_loss = 0.65;
-  client_cfg.fixed_level = true;
-  client_cfg.initial_level = 3;
-  SimClient client(code, cfg, client_cfg, 9);
-  FountainServer server(cfg, code.encoded_count());
-  for (int r = 0; r < 100000 && !client.complete(); ++r) {
-    client.on_round(server.next_round());
-  }
-  ASSERT_TRUE(client.complete());
-  EXPECT_LT(client.distinctness_efficiency(), 1.0);
+  SimClientConfig client;
+  client.base_loss = 0.65;
+  client.fixed_level = true;
+  client.initial_level = 3;
+  const auto r = run_one(code, cfg, client, 9);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.eta_d, 1.0);
 }
 
-TEST(SimClient, AdaptiveClientChangesLevels) {
+TEST(Receiver, AdaptiveClientChangesLevels) {
   // A receiver subscribed far above its capacity experiences congestion loss
   // and must back off level by level.
   core::TornadoCode code(core::TornadoParams::tornado_a(2000, 16, 4));
   ProtocolConfig cfg = small_config();
-  SimClientConfig client_cfg;
-  client_cfg.base_loss = 0.02;
-  client_cfg.congestion_extra_loss = 0.6;  // well above the drop threshold
-  client_cfg.capacity_change_prob = 0.0;
-  client_cfg.initial_level = 3;
-  client_cfg.initial_capacity = 0;
-  SimClient client(code, cfg, client_cfg, 10);
-  FountainServer server(cfg, code.encoded_count());
-  for (int r = 0; r < 100000 && !client.complete(); ++r) {
-    client.on_round(server.next_round());
-  }
-  ASSERT_TRUE(client.complete());
+  SimClientConfig client;
+  client.base_loss = 0.02;
+  client.congestion_extra_loss = 0.6;  // well above the drop threshold
+  client.capacity_change_prob = 0.0;
+  client.initial_level = 3;
+  client.initial_capacity = 0;
+  const auto r = run_one(code, cfg, client, 10);
+  ASSERT_TRUE(r.completed);
   // The receiver backs off at least twice before the transfer finishes.
-  EXPECT_GE(client.level_changes(), 2u);
-  EXPECT_LT(client.level(), 3u);
+  EXPECT_GE(r.level_changes, 2u);
+}
+
+TEST(Receiver, AsynchronousJoinStillCompletes) {
+  // A receiver that tunes in mid-session (the digital fountain's core
+  // promise) completes with the same fixed-level guarantees.
+  core::TornadoCode code(core::TornadoParams::tornado_a(500, 16, 5));
+  ProtocolConfig cfg = small_config();
+  SimClientConfig client;
+  client.base_loss = 0.1;
+  client.fixed_level = true;
+  client.initial_level = 3;
+  client.join = 137;  // mid-cycle
+  const auto r = run_one(code, cfg, client, 11);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.rounds_to_complete, 137u);
+  EXPECT_GT(r.eta, 0.5);
 }
 
 TEST(StatisticalClient, DecodesAndReportsAttempts) {
@@ -220,6 +282,48 @@ TEST(StatisticalClient, HighInitialMarginDecodesInOneAttempt) {
   ASSERT_TRUE(client.complete());
   EXPECT_EQ(client.decode_attempts(), 1u);
   EXPECT_EQ(client.source(), source);
+}
+
+TEST(StatisticalClient, ResetServesASecondTransfer) {
+  // The client reuses one incremental decoder across attempts and across
+  // reset()s — two full transfers through the same object must both verify.
+  core::TornadoCode code(core::TornadoParams::tornado_a(300, 16, 6));
+  util::SymbolMatrix source(300, 16);
+  source.fill_random(3);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+
+  proto::StatisticalDataClient client(code, 0.0, 0.01);
+  util::Rng rng(8);
+  for (int transfer = 0; transfer < 2; ++transfer) {
+    client.reset();
+    EXPECT_FALSE(client.complete());
+    EXPECT_EQ(client.distinct_received(), 0u);
+    const auto order = rng.permutation(code.encoded_count());
+    for (const auto index : order) {
+      if (client.on_packet(index, encoding.row(index))) break;
+    }
+    ASSERT_TRUE(client.complete()) << transfer;
+    EXPECT_EQ(client.source(), source) << transfer;
+  }
+}
+
+TEST(StatisticalClient, WorksOverAnyErasureCode) {
+  // The client is codec-agnostic: here it drains a Reed-Solomon code.
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 40, 40, 24);
+  util::SymbolMatrix source(40, 24);
+  source.fill_random(4);
+  util::SymbolMatrix encoding(80, 24);
+  code->encode(source, encoding);
+
+  proto::StatisticalDataClient client(*code, 0.0, 0.01);
+  util::Rng rng(9);
+  const auto order = rng.permutation(80);
+  for (const auto index : order) {
+    if (client.on_packet(index, encoding.row(index))) break;
+  }
+  ASSERT_TRUE(client.complete());
+  EXPECT_EQ(util::SymbolMatrix(client.source()), source);
 }
 
 TEST(StatisticalClient, SourceBeforeCompleteThrows) {

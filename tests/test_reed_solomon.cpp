@@ -332,5 +332,37 @@ TEST(RsWrapper, StretchFactor) {
   EXPECT_DOUBLE_EQ(code->stretch_factor(), 2.0);
 }
 
+TEST(RsWrapper, CodecIdIsReedSolomon) {
+  const auto code = fec::make_reed_solomon(RsKind::kVandermonde, 8, 8, 16);
+  EXPECT_EQ(code->codec_id(), fec::CodecId::kReedSolomon);
+}
+
+TEST(RsWrapper, DecoderResetReusesAcrossReceivers) {
+  // reset() restores the empty state so one payload decoder serves several
+  // simulated receivers (the engine's pooled sinks) without reallocation.
+  const auto code = fec::make_reed_solomon(RsKind::kCauchy, 20, 20, 32);
+  util::SymbolMatrix source(20, 32);
+  source.fill_random(9);
+  util::SymbolMatrix encoding(40, 32);
+  code->encode(source, encoding);
+
+  auto decoder = code->make_decoder();
+  util::Rng rng(10);
+  for (int receiver = 0; receiver < 3; ++receiver) {
+    decoder->reset();
+    EXPECT_FALSE(decoder->complete());
+    const auto order = rng.permutation(40);
+    bool done = false;
+    for (const auto index : order) {
+      if (decoder->add_symbol(index, encoding.row(index))) {
+        done = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(done) << receiver;
+    EXPECT_EQ(util::SymbolMatrix(decoder->source()), source) << receiver;
+  }
+}
+
 }  // namespace
 }  // namespace fountain

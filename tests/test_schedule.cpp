@@ -85,6 +85,44 @@ TEST_P(OneLevelProperty, HoldsForEveryLevel) {
 INSTANTIATE_TEST_SUITE_P(Layers, OneLevelProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+/// The churn-relevant strengthening: the one-level distinctness guarantee
+/// holds from ANY starting round, not just round 0. A receiver that changes
+/// subscription level mid-cycle therefore re-enters the guarantee
+/// immediately — each full pass at its new level, measured from the round of
+/// the change, is a permutation of the entire encoding.
+class AnyPhaseOneLevelProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AnyPhaseOneLevelProperty, HoldsFromEveryStartingRound) {
+  const unsigned g = GetParam();
+  const std::size_t n = 8 * (std::size_t{1} << (g - 1));  // 8 full blocks
+  LayeredSchedule s(g, n);
+  for (unsigned level = 0; level < g; ++level) {
+    const std::size_t per_round = s.level_rate(level) * s.block_count();
+    ASSERT_EQ(n % per_round, 0u);
+    const std::size_t window = n / per_round;  // rounds for one full pass
+    for (std::uint64_t phase = 0; phase < s.rounds_per_cycle(); ++phase) {
+      std::set<std::uint32_t> seen;
+      std::vector<std::uint32_t> packets;
+      for (std::uint64_t j = phase; j < phase + window; ++j) {
+        for (unsigned l = 0; l <= level; ++l) {
+          packets.clear();
+          s.append_layer_packets(l, j, packets);
+          for (const auto p : packets) {
+            EXPECT_TRUE(seen.insert(p).second)
+                << "duplicate " << p << " at level " << level << " phase "
+                << phase << " (g=" << g << ")";
+          }
+        }
+      }
+      EXPECT_EQ(seen.size(), n)
+          << "level " << level << " phase " << phase << " g=" << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, AnyPhaseOneLevelProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
 TEST(Schedule, EachLayerAloneCoversEverything) {
   // The paper also notes each individual multicast layer carries a full
   // permutation of the encoding before repeating.

@@ -312,6 +312,33 @@ TEST(Tornado, StructuralResetIsClean) {
   EXPECT_EQ(first, second);  // same order => identical completion point
 }
 
+TEST(Tornado, DataDecoderResetReusesAcrossReceivers) {
+  // reset() must restore the empty state without reallocation so one payload
+  // decoder can serve many simulated receivers (the engine's pooled sinks).
+  TornadoCode code(TornadoParams::tornado_a(250, 16, 21));
+  util::SymbolMatrix source(250, 16);
+  source.fill_random(22);
+  util::SymbolMatrix encoding(code.encoded_count(), 16);
+  code.encode(source, encoding);
+
+  auto decoder = code.make_decoder();
+  util::Rng rng(23);
+  for (int receiver = 0; receiver < 3; ++receiver) {
+    decoder->reset();
+    EXPECT_FALSE(decoder->complete());
+    const auto order = rng.permutation(code.encoded_count());
+    bool done = false;
+    for (const auto index : order) {
+      if (decoder->add_symbol(index, encoding.row(index))) {
+        done = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(done) << receiver;
+    EXPECT_EQ(decoder->source(), source) << receiver;
+  }
+}
+
 TEST(Tornado, CheckPacketsAreXorOfNeighbors) {
   TornadoCode code(TornadoParams::tornado_a(128, 32, 9));
   const Cascade& cascade = code.cascade();
