@@ -45,8 +45,8 @@ struct Path {
 class CountingSink final : public engine::PacketSink {
  public:
   CountingSink(std::unique_ptr<fec::IncrementalDecoder> decoder,
-               util::ConstSymbolView encoding, std::size_t paths)
-      : inner_(std::move(decoder), encoding), per_path_(paths, 0) {}
+               const fec::BlockEncoder& encoder, std::size_t paths)
+      : inner_(std::move(decoder), encoder), per_path_(paths, 0) {}
 
   bool on_packet(const engine::Delivery& d) override {
     ++per_path_[d.source];
@@ -76,8 +76,9 @@ int main(int argc, char** argv) {
   core::TornadoCode code(core::TornadoParams::tornado_a(k, 1024, 13));
   util::SymbolMatrix file(k, 1024);
   file.fill_random(55);
-  util::SymbolMatrix encoding(code.encoded_count(), 1024);
-  code.encode(file, encoding);
+  // The source's send path: every packet on every path is synthesized on
+  // demand from one streaming encoder (no n x P encoding buffer).
+  const auto encoder = code.make_encoder(file);
 
   // Heterogeneous paths: one fast/clean, the rest slower/lossier; the last
   // is badly congested.
@@ -107,7 +108,7 @@ int main(int argc, char** argv) {
   engine::Session session(code, config);
 
   engine::ReceiverSpec spec;
-  spec.sink = std::make_unique<CountingSink>(code.make_decoder(), encoding,
+  spec.sink = std::make_unique<CountingSink>(code.make_decoder(), *encoder,
                                              path_count);
   auto* sink = static_cast<CountingSink*>(spec.sink.get());
   const engine::ReceiverId dest = session.add_receiver(std::move(spec));

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/tornado.hpp"
+#include "fec/codec_registry.hpp"
 #include "proto/session.hpp"
 #include "util/random.hpp"
 
@@ -24,8 +24,13 @@ int main(int argc, char** argv) {
   const std::uint64_t max_rounds = argc > 2 ? std::atoll(argv[2]) : 2000000;
 
   // The paper's prototype encoding: ~2 MB -> 8264 packets of 500 bytes.
-  const std::size_t k = 4132;
-  core::TornadoCode code(core::TornadoParams::tornado_a(k, 500, 7));
+  // Described purely by registry parameters — exactly what a server would
+  // advertise on its control channel (run_session instantiates the code).
+  fec::CodecParams params;
+  params.k = 4132;
+  params.symbol_size = 500;
+  params.seed = 7;  // stretch 2 and variant 0 (Tornado A) are the defaults
+  const std::size_t k = params.k;
 
   proto::ProtocolConfig cfg;
   cfg.layers = 4;
@@ -46,8 +51,9 @@ int main(int argc, char** argv) {
 
   std::printf("layered digital fountain: %zu receivers, 4 layers, k = %zu "
               "packets of 500 B (n = %zu)\n\n",
-              receivers, k, code.encoded_count());
-  const auto result = proto::run_session(code, cfg, clients, 3, max_rounds);
+              receivers, k, 2 * k);
+  const auto result = proto::run_session(fec::CodecId::kTornado, params, cfg,
+                                         clients, 3, max_rounds);
 
   std::printf("%-4s %6s %9s %7s %8s %8s %8s %10s\n", "rx", "join", "loss(%)",
               "moves", "eta_d", "eta_c", "eta", "rounds");

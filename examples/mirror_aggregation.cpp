@@ -9,9 +9,11 @@
 //
 // An engine scenario: one CarouselSource per mirror, one receiver subscribed
 // to all of them through per-mirror lossy links, draining into a payload
-// DataSink. The engine's distinct-packet accounting makes the paper's caveat
-// visible: at small stretch factors duplicate packets across mirrors
-// eventually collide, and the run prints the measured duplicate fraction.
+// DataSink fed by the mirrors' shared streaming encoder (mirrors never hold
+// a materialized encoding — each packet is synthesized on demand). The
+// engine's distinct-packet accounting makes the paper's caveat visible: at
+// small stretch factors duplicate packets across mirrors eventually collide,
+// and the run prints the measured duplicate fraction.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -44,8 +46,9 @@ int main(int argc, char** argv) {
       proto::file_to_symbols(util::ConstByteSpan(original), symbol_size);
 
   core::TornadoCode code(info.tornado_params());
-  util::SymbolMatrix encoding(code.encoded_count(), symbol_size);
-  code.encode(file, encoding);
+  // All mirrors carry the same file and code, so one streaming encoder
+  // stands in for every mirror's send path.
+  const auto encoder = code.make_encoder(file);
 
   std::printf("mirrored download: %zu-byte file (k = %zu), %u mirrors\n",
               file_bytes, code.source_count(), mirrors);
@@ -62,7 +65,7 @@ int main(int argc, char** argv) {
 
   engine::ReceiverSpec spec;
   spec.sink = std::make_unique<engine::DataSink>(code.make_decoder(),
-                                                 encoding);
+                                                 *encoder);
   auto* sink = static_cast<engine::DataSink*>(spec.sink.get());
   const engine::ReceiverId client = session.add_receiver(std::move(spec));
 

@@ -3,9 +3,12 @@
 //   $ ./quickstart
 //
 // Demonstrates the minimal public API: TornadoParams -> TornadoCode ->
-// encode() -> IncrementalDecoder. The decoder announces completion on its
-// own ("the decoding algorithm can detect when it has received enough
-// encoding packets", Section 5.1).
+// make_encoder() -> IncrementalDecoder. The server side never materializes
+// the n-symbol encoding — the BlockEncoder generates each transmitted
+// symbol on demand into a single scratch buffer (O(k) memory instead of
+// O(n), first packet on the wire after one cascade pass) — and the decoder
+// announces completion on its own ("the decoding algorithm can detect when
+// it has received enough encoding packets", Section 5.1).
 #include <cstdio>
 
 #include "core/tornado.hpp"
@@ -29,19 +32,27 @@ int main() {
               code.source_count(), code.encoded_count(),
               code.cascade().total_edges());
 
-  util::SymbolMatrix encoding(code.encoded_count(), packet_bytes);
-  code.encode(file, encoding);
+  // The streaming encoder: any encoding symbol, on demand, into caller
+  // storage. This is what a carousel server holds instead of an n x P
+  // encoding buffer.
+  const auto encoder = code.make_encoder(file);
+  std::printf("encoder state: %zu KB beyond the source (a full encoding "
+              "would be %zu KB)\n",
+              encoder->state_bytes() / 1024,
+              code.encoded_count() * packet_bytes / 1024);
 
-  // Simulate a lossy channel: deliver encoding packets in random order and
+  // Simulate a lossy channel: transmit encoding packets in random order and
   // drop 40% of them. Any sufficiently large subset reconstructs the file.
   util::Rng rng(7);
   const auto order = rng.permutation(code.encoded_count());
   auto decoder = code.make_decoder();
+  util::SymbolMatrix wire(1, packet_bytes);  // the one in-flight packet
   std::size_t delivered = 0;
   for (const auto index : order) {
     if (rng.chance(0.4)) continue;  // lost
     ++delivered;
-    if (decoder->add_symbol(index, encoding.row(index))) break;
+    encoder->write_symbol(index, wire.row(0));
+    if (decoder->add_symbol(index, wire.row(0))) break;
   }
 
   if (!decoder->complete()) {

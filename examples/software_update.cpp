@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
   core::TornadoCode code(core::TornadoParams::tornado_a(k, packet_bytes, 1));
   util::SymbolMatrix file(k, packet_bytes);
   file.fill_random(123);
-  util::SymbolMatrix encoding(code.encoded_count(), packet_bytes);
-  code.encode(file, encoding);
+  // The broadcast server holds a streaming encoder, not an n x P encoding:
+  // each carousel slot's payload is synthesized on demand.
+  const auto encoder = code.make_encoder(file);
 
   util::Rng rng(99);
   const auto carousel =
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
   // The straggler whose payload we verify byte-for-byte.
   engine::ReceiverSpec verify_spec;
   verify_spec.sink =
-      std::make_unique<engine::DataSink>(code.make_decoder(), encoding);
+      std::make_unique<engine::DataSink>(code.make_decoder(), *encoder);
   auto* verify_sink = static_cast<engine::DataSink*>(verify_spec.sink.get());
   const engine::ReceiverId verifier =
       session.add_receiver(std::move(verify_spec));

@@ -6,24 +6,28 @@
 //   $ ./udp_fountain [size_kb] [loss]
 //
 // The server thread drives its transmission schedule from the engine's
-// CarouselSource — the same PacketSource the simulations use — and pushes
-// each emitted batch through a UDP socket with an artificial drop rate; the
-// client runs the statistical decoding strategy of Section 7.2 (over the
-// codec-agnostic fec::ErasureCode interface), rejecting any datagram whose
-// codec byte does not match the advertised code. Everything runs in one
-// process so the example is self-contained and CI-friendly.
+// CarouselSource — the same PacketSource the simulations use — and streams
+// each emitted index through a fec::BlockEncoder straight into the datagram
+// buffer (no n x P encoding is ever materialized) before pushing it through
+// a UDP socket with an artificial drop rate. The client is fully
+// constructive: it derives its erasure code from the advertised ControlInfo
+// via fec::CodecRegistry — exactly the fields a real control channel carries
+// — and runs the statistical decoding strategy of Section 7.2, rejecting any
+// datagram whose codec byte does not match the advertised family. Everything
+// runs in one process so the example is self-contained and CI-friendly.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 #include "carousel/carousel.hpp"
-#include "core/tornado.hpp"
 #include "engine/sources.hpp"
+#include "fec/codec_registry.hpp"
 #include "net/loss.hpp"
 #include "net/packet_header.hpp"
 #include "net/udp.hpp"
 #include "proto/client.hpp"
+#include "proto/control.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
 
@@ -33,33 +37,43 @@ int main(int argc, char** argv) {
   const std::size_t size_kb = argc > 1 ? std::atoi(argv[1]) : 512;
   const double drop = argc > 2 ? std::atof(argv[2]) : 0.25;
   const std::size_t payload_bytes = 500;
-  const std::size_t k = size_kb * 1024 / payload_bytes;
+  const std::size_t file_bytes = size_kb * 1024;
 
-  core::TornadoCode code(core::TornadoParams::tornado_a(k, payload_bytes, 3));
-  util::SymbolMatrix file(k, payload_bytes);
+  // What the control channel advertises: file length, symbol size, codec
+  // family and construction seed. Server and client both build their code
+  // from these fields alone.
+  const proto::ControlInfo info = proto::make_control_info(
+      file_bytes, payload_bytes, /*variant=*/0, /*graph_seed=*/3,
+      /*layers=*/1, /*permutation_seed=*/1, fec::CodecId::kTornado);
+
+  const auto server_code =
+      fec::CodecRegistry::builtin().create(info.codec, info.codec_params());
+  util::SymbolMatrix file(server_code->source_count(), payload_bytes);
   file.fill_random(2025);
-  util::SymbolMatrix encoding(code.encoded_count(), payload_bytes);
-  code.encode(file, encoding);
 
   net::UdpSocket client_sock;
   client_sock.bind({"127.0.0.1", 0});
   const auto port = client_sock.local_port();
   std::printf("udp fountain: %zu KB file -> %zu packets of %zu B "
               "(+12 B header), %.0f%% induced loss, port %u\n",
-              size_kb, code.encoded_count(), payload_bytes, 100.0 * drop,
-              port);
+              size_kb, server_code->encoded_count(), payload_bytes,
+              100.0 * drop, port);
 
   std::atomic<bool> stop{false};
   std::thread server([&] {
     net::UdpSocket sock;
-    util::Rng rng(1);
+    util::Rng rng(info.permutation_seed);
     net::BernoulliLoss channel(drop, 2);
-    const auto order =
-        carousel::Carousel::random_permutation(code.encoded_count(), rng);
+    const auto order = carousel::Carousel::random_permutation(
+        server_code->encoded_count(), rng);
     // One firing = 32 packets; the engine source decides what goes on the
-    // wire, this thread only frames, paces and sends.
-    const engine::CarouselSource source(order, code.codec_id(), 32);
+    // wire, the encoder synthesizes each payload on demand, and this thread
+    // only frames, paces and sends.
+    const auto encoder = server_code->make_encoder(file);
+    const engine::CarouselSource source(order, server_code->codec_id(), 32);
     engine::PacketBatch batch;
+    std::vector<std::uint8_t> wire(net::PacketHeader::kWireSize +
+                                   payload_bytes);
     std::uint32_t serial = 0;
     for (std::uint64_t round = 0; !stop.load(std::memory_order_relaxed);
          ++round) {
@@ -68,9 +82,11 @@ int main(int argc, char** argv) {
       for (const std::uint32_t index : batch.indices) {
         ++serial;
         if (channel.lost()) continue;  // channel impairment
-        const auto wire = net::frame_packet(
-            net::PacketHeader{index, serial, code.codec_id(), 0},
-            encoding.row(index));
+        const net::PacketHeader header{index, serial, server_code->codec_id(),
+                                       0};
+        header.serialize(util::ByteSpan(wire));
+        encoder->write_symbol(
+            index, util::ByteSpan(wire).subspan(net::PacketHeader::kWireSize));
         sock.send_to({"127.0.0.1", port}, util::ConstByteSpan(wire));
       }
       // Pace the stream so the client-side socket buffer keeps up.
@@ -78,7 +94,11 @@ int main(int argc, char** argv) {
     }
   });
 
-  proto::StatisticalDataClient client(code, /*initial_margin=*/0.05);
+  // The client side: instantiate the matching code purely from the control
+  // info (no shared ErasureCode object with the server thread).
+  const auto client_code =
+      fec::CodecRegistry::builtin().create(info.codec, info.codec_params());
+  proto::StatisticalDataClient client(*client_code, /*initial_margin=*/0.05);
   util::WallTimer timer;
   std::uint64_t received = 0;
   std::uint64_t rejected = 0;
@@ -91,7 +111,7 @@ int main(int argc, char** argv) {
     }
     const auto parsed = net::parse_packet(util::ConstByteSpan(datagram->payload));
     if (!parsed || parsed->payload.size() != payload_bytes) continue;
-    if (parsed->header.codec != code.codec_id()) {
+    if (parsed->header.codec != info.codec) {
       ++rejected;  // a mirror running a different code: never fed to decoder
       continue;
     }

@@ -3,6 +3,11 @@
 // codes the order is a random permutation (as in the paper's simulations);
 // for interleaved codes it is the natural index order, which is already the
 // interleaved round-robin over blocks.
+//
+// A carousel names *indices* only; a transmitting server pairs it with a
+// fec::BlockEncoder, which materializes slot t's payload on demand
+// (encoder->write_symbol(packet_at(t), buf)) — no n x P encoding buffer
+// exists anywhere on the send path.
 #pragma once
 
 #include <cstdint>

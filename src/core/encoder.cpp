@@ -7,51 +7,71 @@
 
 namespace fountain::core {
 
-void encode_cascade(const Cascade& cascade, const util::SymbolMatrix& source,
-                    util::SymbolMatrix& encoding) {
-  const std::size_t k = cascade.source_count();
-  const std::size_t bytes = cascade.symbol_size();
-  if (source.rows() != k || source.symbol_size() != bytes ||
-      encoding.rows() != cascade.encoded_count() ||
-      encoding.symbol_size() != bytes) {
-    throw std::invalid_argument("encode_cascade: shape mismatch");
+CascadeEncoder::CascadeEncoder(const Cascade& cascade,
+                               util::ConstSymbolView source)
+    : cascade_(cascade), source_(source) {
+  const std::size_t k = cascade_.source_count();
+  const std::size_t bytes = cascade_.symbol_size();
+  if (source_.rows() != k || source_.symbol_size() != bytes) {
+    throw std::invalid_argument("CascadeEncoder: source shape mismatch");
   }
-
-  // Systematic prefix: level 0 is the source data itself.
-  std::memcpy(encoding.data(), source.data(), source.size_bytes());
+  checks_ = util::SymbolMatrix(cascade_.node_count() - k, bytes);
 
   // Each check packet is the XOR of its left neighbours in the level graph:
   // initialize by copying the first neighbour (instead of zero-fill + XOR,
   // which costs an extra full pass over the packet), then fold the remaining
-  // neighbours up to four at a time through the batching accumulator.
-  // Shapes were validated above, so this loop uses the unchecked kernels.
-  for (std::size_t j = 0; j < cascade.graph_count(); ++j) {
-    const BipartiteGraph& g = cascade.graph(j);
-    const std::size_t left_off = cascade.level_offset(j);
-    const std::size_t right_off = cascade.level_offset(j + 1);
+  // neighbours up to four at a time through the batching accumulator. Level
+  // 0 rows come from the borrowed source view, deeper rows from the check
+  // state filled by earlier iterations. Shapes were validated above, so this
+  // loop uses the unchecked kernels.
+  const auto node_row = [&](std::size_t node) {
+    return node < k ? source_.row(node) : checks_.row(node - k);
+  };
+  for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
+    const BipartiteGraph& g = cascade_.graph(j);
+    const std::size_t left_off = cascade_.level_offset(j);
+    const std::size_t right_off = cascade_.level_offset(j + 1);
     for (std::size_t r = 0; r < g.right_count(); ++r) {
-      auto out = encoding.row(right_off + r);
+      auto out = checks_.row(right_off + r - k);
       const auto neighbors = g.check_neighbors(r);
       if (neighbors.empty()) {
         std::fill(out.begin(), out.end(), 0);
         continue;
       }
-      std::memcpy(out.data(), encoding.row(left_off + neighbors[0]).data(),
-                  bytes);
+      std::memcpy(out.data(), node_row(left_off + neighbors[0]).data(), bytes);
       kern::XorAccumulator acc(out.data(), bytes);
       for (std::size_t i = 1; i < neighbors.size(); ++i) {
-        acc.add(encoding.row(left_off + neighbors[i]).data());
+        acc.add(node_row(left_off + neighbors[i]).data());
       }
     }
   }
 
-  // RS tail over the last level, encoded directly from/into `encoding` rows
-  // (the tail source is the contiguous last level, the parity the contiguous
-  // range right after the cascade nodes — no staging copies needed).
-  const std::size_t tail_off = cascade.level_offset(cascade.level_count() - 1);
-  cascade.tail().encode(
-      encoding.rows_view(tail_off, cascade.tail_size()),
-      encoding.rows_view(cascade.node_count(), cascade.parity_count()));
+  // The RS tail's source is the contiguous last level: the source itself
+  // when the cascade has no check levels (k at or below the tail threshold),
+  // a check-state range otherwise.
+  const std::size_t tail_off =
+      cascade_.level_offset(cascade_.level_count() - 1);
+  tail_ = tail_off < k
+              ? source_
+              : checks_.rows_view(tail_off - k, cascade_.tail_size());
+}
+
+void CascadeEncoder::write_symbol(std::uint32_t index,
+                                  util::ByteSpan out) const {
+  const std::size_t k = cascade_.source_count();
+  if (index >= cascade_.encoded_count()) {
+    throw std::out_of_range("CascadeEncoder: index");
+  }
+  if (out.size() != cascade_.symbol_size()) {
+    throw std::invalid_argument("CascadeEncoder: output size");
+  }
+  if (index < k) {
+    std::memcpy(out.data(), source_.row(index).data(), out.size());
+  } else if (index < cascade_.node_count()) {
+    std::memcpy(out.data(), checks_.row(index - k).data(), out.size());
+  } else {
+    cascade_.tail().encode_one(tail_, index - cascade_.node_count(), out);
+  }
 }
 
 }  // namespace fountain::core

@@ -1,22 +1,50 @@
-// Tornado encoding: one linear pass of XORs down the cascade plus the RS
-// tail — the (k + l) * ln(1/eps) * P running time of the paper's Table 1.
+// Tornado encoding as a streaming BlockEncoder. Construction runs the one
+// linear XOR pass down the cascade — the (k + l) * ln(1/eps) * P running
+// time of the paper's Table 1 — materializing only the check levels
+// (node rows [k, node_count()), < k rows at stretch 2). After that every
+// encoding symbol is served on demand: source and check symbols are single
+// memcpys, and RS tail parity rows are synthesized per index straight into
+// the caller's buffer (tail().encode_one over the last-level rows), so the
+// expensive tail matrix-multiply is paid only for tail symbols actually
+// requested — this is what makes time-to-first-symbol O(k) instead of the
+// whole-block O(k + tail * parity).
 //
-// Invariants: `source` and `encoding` must already be shaped for the given
-// cascade (k rows resp. n = encoded_count() rows, matching symbol_size()
-// in bytes); shape mismatches throw std::invalid_argument rather than
-// silently truncating. Encoding is deterministic for a fixed cascade, so a
-// server and the benches can regenerate identical packet streams.
+// Invariants: `source` must be shaped for the cascade (k rows of
+// symbol_size() bytes; mismatches throw std::invalid_argument) and must
+// outlive the encoder (the view is borrowed, not copied). Encoding is
+// deterministic for a fixed cascade — write_symbol(i) is byte-identical to
+// row i of the whole-block encoding — so a server and the benches can
+// regenerate identical packet streams from any point.
 #pragma once
 
+#include <memory>
+
 #include "core/cascade.hpp"
+#include "fec/erasure_code.hpp"
 #include "util/symbols.hpp"
 
 namespace fountain::core {
 
-/// Fills `encoding` (cascade.encoded_count() rows) from `source`
-/// (cascade.source_count() rows). The encoding is systematic: rows [0, k)
-/// are the source packets.
-void encode_cascade(const Cascade& cascade, const util::SymbolMatrix& source,
-                    util::SymbolMatrix& encoding);
+class CascadeEncoder final : public fec::BlockEncoder {
+ public:
+  CascadeEncoder(const Cascade& cascade, util::ConstSymbolView source);
+
+  std::size_t source_count() const override {
+    return cascade_.source_count();
+  }
+  std::size_t encoded_count() const override {
+    return cascade_.encoded_count();
+  }
+  std::size_t symbol_size() const override { return cascade_.symbol_size(); }
+  std::size_t state_bytes() const override { return checks_.size_bytes(); }
+
+  void write_symbol(std::uint32_t index, util::ByteSpan out) const override;
+
+ private:
+  const Cascade& cascade_;      // borrowed; must outlive the encoder
+  util::ConstSymbolView source_;
+  util::SymbolMatrix checks_;   // node rows [k, node_count()), level order
+  util::ConstSymbolView tail_;  // last-level rows (the RS tail's source)
+};
 
 }  // namespace fountain::core

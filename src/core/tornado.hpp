@@ -40,9 +40,9 @@ class TornadoCode final : public fec::ErasureCode {
   std::size_t symbol_size() const override { return cascade_->symbol_size(); }
   fec::CodecId codec_id() const override { return fec::CodecId::kTornado; }
 
-  void encode(const util::SymbolMatrix& source,
-              util::SymbolMatrix& encoding) const override {
-    encode_cascade(*cascade_, source, encoding);
+  std::unique_ptr<fec::BlockEncoder> make_encoder(
+      util::ConstSymbolView source) const override {
+    return std::make_unique<CascadeEncoder>(*cascade_, source);
   }
 
   std::unique_ptr<fec::IncrementalDecoder> make_decoder() const override {

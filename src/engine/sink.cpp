@@ -10,12 +10,11 @@ StructuralSink::StructuralSink(std::unique_ptr<fec::StructuralDecoder> decoder)
 }
 
 DataSink::DataSink(std::unique_ptr<fec::IncrementalDecoder> decoder,
-                   util::ConstSymbolView encoding)
-    : decoder_(std::move(decoder)), encoding_(encoding) {
+                   const fec::BlockEncoder& encoder)
+    : decoder_(std::move(decoder)),
+      encoder_(encoder),
+      scratch_(1, encoder.symbol_size()) {
   if (!decoder_) throw std::invalid_argument("DataSink: null decoder");
-  if (encoding_.empty()) {
-    throw std::invalid_argument("DataSink: empty encoding view");
-  }
 }
 
 }  // namespace fountain::engine

@@ -43,16 +43,23 @@ class StructuralSink final : public PacketSink {
   std::unique_ptr<fec::StructuralDecoder> decoder_;
 };
 
-/// Payload-carrying sink: feeds real encoding rows through a
+/// Payload-carrying sink: regenerates each delivered packet's payload from a
+/// streaming fec::BlockEncoder (the simulated wire) and feeds it through a
 /// fec::IncrementalDecoder so a scenario can verify byte-exact
-/// reconstruction. The encoding view must outlive the sink.
+/// reconstruction. Holding the encoder instead of a materialized encoding
+/// keeps scenario memory at O(k * P + codec state) rather than O(n * P).
+/// The encoder (and the source view it borrows) must outlive the sink. One
+/// scratch symbol is allocated at construction; the per-packet path does not
+/// allocate.
 class DataSink final : public PacketSink {
  public:
   DataSink(std::unique_ptr<fec::IncrementalDecoder> decoder,
-           util::ConstSymbolView encoding);
+           const fec::BlockEncoder& encoder);
 
   bool on_packet(const Delivery& d) override {
-    return decoder_->add_symbol(d.index, encoding_.row(d.index));
+    const auto payload = scratch_.row(0);
+    encoder_.write_symbol(d.index, payload);
+    return decoder_->add_symbol(d.index, payload);
   }
   bool complete() const override { return decoder_->complete(); }
   void reset() override { decoder_->reset(); }
@@ -62,7 +69,8 @@ class DataSink final : public PacketSink {
 
  private:
   std::unique_ptr<fec::IncrementalDecoder> decoder_;
-  util::ConstSymbolView encoding_;
+  const fec::BlockEncoder& encoder_;
+  util::SymbolMatrix scratch_;  // one wire payload
 };
 
 }  // namespace fountain::engine

@@ -1,0 +1,81 @@
+// Codec factory registry: constructs a fec::ErasureCode from the fields
+// that actually travel between endpoints — the one-byte CodecId carried in
+// every net::PacketHeader plus the CodecParams advertised on the control
+// channel (proto::ControlInfo). This is what makes the decode side of
+// multi-source codec quarantine *constructive*: instead of requiring a
+// pre-shared ErasureCode pointer, a receiver (or an engine::Session) can
+// instantiate the matching code for whatever family a sender announces.
+//
+// The registry with the three built-in families (Tornado, Reed-Solomon,
+// interleaved) is CodecRegistry::builtin(); scenarios can also build private
+// registries to add experimental codecs without touching the wire enum.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fec/codec_id.hpp"
+#include "fec/erasure_code.hpp"
+
+namespace fountain::fec {
+
+/// The construction parameters both ends must agree on, in the units they
+/// are advertised: k source symbols of symbol_size bytes stretched by
+/// `stretch`, deterministic structure drawn from `seed`. `variant` selects a
+/// sub-family: Tornado 0 = variant A / 1 = variant B; Reed-Solomon
+/// 0 = Cauchy / 1 = Vandermonde; interleaved = block count (0 picks
+/// ~50-packet blocks, the paper's Section 6 operating point).
+struct CodecParams {
+  std::size_t k = 0;
+  double stretch = 2.0;
+  std::size_t symbol_size = 0;
+  std::uint64_t seed = 1;
+  std::uint32_t variant = 0;
+
+  friend bool operator==(const CodecParams&, const CodecParams&) = default;
+};
+
+class CodecRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ErasureCode>(const CodecParams&)>;
+
+  CodecRegistry() = default;
+
+  /// The process-wide registry holding the built-in codec families, one per
+  /// CodecId value. Constructed on first use; immutable afterwards.
+  static const CodecRegistry& builtin();
+
+  /// Registers a factory for `id`. Re-registering an id replaces its factory
+  /// (so tests can shadow a family in a private registry).
+  void register_codec(CodecId id, std::string name, Factory factory);
+
+  bool contains(CodecId id) const;
+  /// Human-readable family name; throws std::out_of_range for unknown ids.
+  const std::string& name(CodecId id) const;
+  /// Registered ids in registration order.
+  std::vector<CodecId> ids() const;
+
+  /// Instantiates the code a sender advertising (id, params) is using.
+  /// Throws std::out_of_range for an unregistered id and propagates the
+  /// codec's own std::invalid_argument for unusable params; the returned
+  /// code always satisfies codec_id() == id, source_count() == params.k and
+  /// symbol_size() == params.symbol_size.
+  std::unique_ptr<ErasureCode> create(CodecId id,
+                                      const CodecParams& params) const;
+
+ private:
+  struct Entry {
+    CodecId id;
+    std::string name;
+    Factory factory;
+  };
+  const Entry* find(CodecId id) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fountain::fec

@@ -1,8 +1,27 @@
 #include "fec/erasure_code.hpp"
 
+#include <stdexcept>
+
 namespace fountain::fec {
 
-bool ErasureCode::decode(const std::vector<ReceivedSymbol>& received,
+void BlockEncoder::write_symbols(std::uint32_t first,
+                                 util::SymbolView out) const {
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    write_symbol(first + static_cast<std::uint32_t>(i), out.row(i));
+  }
+}
+
+void ErasureCode::encode(const util::SymbolMatrix& source,
+                         util::SymbolMatrix& encoding) const {
+  if (encoding.rows() != encoded_count() ||
+      encoding.symbol_size() != symbol_size()) {
+    throw std::invalid_argument("ErasureCode::encode: encoding shape");
+  }
+  // make_encoder validates the source shape.
+  make_encoder(source)->write_symbols(0, encoding);
+}
+
+bool ErasureCode::decode(std::span<const ReceivedSymbol> received,
                          util::SymbolMatrix& out) const {
   auto decoder = make_decoder();
   for (const auto& symbol : received) {

@@ -3,6 +3,16 @@
 // (stretch factor c = n/k, the paper uses c = 2 throughout) and reconstructs
 // the source from a sufficient subset of them.
 //
+// The encode side is streaming-first (codec API v2). A server in this system
+// is a carousel emitting an effectively unbounded symbol stream, so the
+// primary producer interface is BlockEncoder: a stateful per-transfer object
+// returned by ErasureCode::make_encoder(source) that generates any encoding
+// symbol on demand into caller-provided storage. Holding an encoder costs
+// O(k * P + codec state) instead of the O(n * P) a materialized encoding
+// costs, and the first symbol is available after O(k) work instead of after
+// the full-block encode. The whole-block encode() remains as a convenience
+// loop over the encoder (tests and benches use it as the reference).
+//
 // Two decoder views are provided:
 //  * IncrementalDecoder — consumes real payloads one packet at a time and
 //    reports when the source is fully reconstructed (the paper's client-side
@@ -16,7 +26,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
+#include <span>
 
 #include "fec/codec_id.hpp"
 #include "util/symbols.hpp"
@@ -26,6 +36,41 @@ namespace fountain::fec {
 struct ReceivedSymbol {
   std::uint32_t index;
   util::ConstByteSpan data;
+};
+
+/// Stateful on-demand encoder for one transfer. Created by
+/// ErasureCode::make_encoder over a borrowed source view (the view must
+/// outlive the encoder); any per-transfer precomputation (e.g. the Tornado
+/// cascade pass) happens once at construction. After construction,
+/// write_symbol performs no hidden allocation: it writes straight into the
+/// caller's buffer, so a server can stream symbols at wire rate.
+///
+/// Symbols may be requested in any order and repeatedly; write_symbol is a
+/// pure function of `index` (byte-identical to row `index` of the whole-block
+/// encoding), which is what lets engine sources replay transmission plans
+/// from arbitrary points.
+class BlockEncoder {
+ public:
+  virtual ~BlockEncoder() = default;
+
+  virtual std::size_t source_count() const = 0;   // k
+  virtual std::size_t encoded_count() const = 0;  // n
+  virtual std::size_t symbol_size() const = 0;    // P bytes
+
+  /// Bytes of encoder-owned symbol state beyond the borrowed source view
+  /// (e.g. the Tornado check levels). Diagnostic: lets benches verify the
+  /// O(n * P) -> O(k * P + state) memory claim.
+  virtual std::size_t state_bytes() const { return 0; }
+
+  /// Writes encoding symbol `index` into `out` (exactly symbol_size()
+  /// bytes). Throws std::out_of_range for index >= encoded_count() and
+  /// std::invalid_argument on a wrong-sized buffer.
+  virtual void write_symbol(std::uint32_t index, util::ByteSpan out) const = 0;
+
+  /// Batched variant: writes symbols [first, first + out.rows()) into the
+  /// rows of `out`. The default loops over write_symbol; codecs override it
+  /// when a contiguous range has a cheaper batch path.
+  virtual void write_symbols(std::uint32_t first, util::SymbolView out) const;
 };
 
 /// Index-only decodability oracle.
@@ -77,17 +122,24 @@ class ErasureCode {
            static_cast<double>(source_count());
   }
 
-  /// Produces the full n-symbol encoding of `source` into `encoding`
-  /// (encoding must have encoded_count() rows of symbol_size() bytes).
-  virtual void encode(const util::SymbolMatrix& source,
-                      util::SymbolMatrix& encoding) const = 0;
+  /// Returns a streaming encoder over `source` (source_count() rows of
+  /// symbol_size() bytes; shape mismatches throw std::invalid_argument).
+  /// The encoder borrows the view — the underlying storage must outlive it.
+  virtual std::unique_ptr<BlockEncoder> make_encoder(
+      util::ConstSymbolView source) const = 0;
+
+  /// Whole-block convenience: fills `encoding` (encoded_count() rows of
+  /// symbol_size() bytes) from `source` by looping a fresh encoder over all
+  /// indices. Byte-identical to streaming the same indices one at a time.
+  void encode(const util::SymbolMatrix& source,
+              util::SymbolMatrix& encoding) const;
 
   virtual std::unique_ptr<IncrementalDecoder> make_decoder() const = 0;
   virtual std::unique_ptr<StructuralDecoder> make_structural_decoder()
       const = 0;
 
   /// One-shot convenience decode. Returns true on success and fills `out`.
-  bool decode(const std::vector<ReceivedSymbol>& received,
+  bool decode(std::span<const ReceivedSymbol> received,
               util::SymbolMatrix& out) const;
 };
 

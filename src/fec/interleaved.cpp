@@ -17,8 +17,11 @@ namespace fountain::fec {
 class InterleavedCode::BlockCodec {
  public:
   virtual ~BlockCodec() = default;
-  virtual void encode(const util::SymbolMatrix& source,
-                      util::SymbolMatrix& parity) const = 0;
+  /// Synthesizes one parity symbol of the block whose source rows are
+  /// `source` (the streaming-encoder path; k_b field FMAs, no allocation).
+  virtual void encode_one(util::ConstSymbolView source,
+                          std::size_t parity_row,
+                          util::ByteSpan out) const = 0;
   virtual void decode(
       util::SymbolMatrix& source, const std::vector<bool>& have_source,
       const std::vector<std::pair<std::uint32_t, util::ConstByteSpan>>& parity)
@@ -32,9 +35,9 @@ class BlockCodecImpl final : public InterleavedCode::BlockCodec {
  public:
   BlockCodecImpl(std::size_t k, std::size_t parity) : codec_(k, parity) {}
 
-  void encode(const util::SymbolMatrix& source,
-              util::SymbolMatrix& parity) const override {
-    codec_.encode(source, parity);
+  void encode_one(util::ConstSymbolView source, std::size_t parity_row,
+                  util::ByteSpan out) const override {
+    codec_.encode_one(source, parity_row, out);
   }
 
   void decode(util::SymbolMatrix& source, const std::vector<bool>& have_source,
@@ -117,35 +120,54 @@ InterleavedCode::Position InterleavedCode::position(
   return index_map_[encoded_index];
 }
 
-void InterleavedCode::encode(const util::SymbolMatrix& source,
-                             util::SymbolMatrix& encoding) const {
-  if (source.rows() != total_source_ || encoding.rows() != total_encoded_ ||
-      source.symbol_size() != symbol_size_ ||
-      encoding.symbol_size() != symbol_size_) {
-    throw std::invalid_argument("InterleavedCode: shape mismatch");
-  }
-  // Per-block encode into scratch, then scatter through the interleaving.
-  std::vector<util::SymbolMatrix> parities(block_count());
-  for (std::size_t b = 0; b < block_count(); ++b) {
-    util::SymbolMatrix block_src(block_source_[b], symbol_size_);
-    std::memcpy(block_src.data(),
-                source.data() + source_offset_[b] * symbol_size_,
-                block_src.size_bytes());
-    parities[b] = util::SymbolMatrix(block_parity_[b], symbol_size_);
-    codecs_[codec_of_block_[b]]->encode(block_src, parities[b]);
-  }
-  for (std::uint32_t e = 0; e < total_encoded_; ++e) {
-    const auto [b, pos] = index_map_[e];
-    const auto out = encoding.row(e);
-    if (pos < block_source_[b]) {
-      std::memcpy(out.data(),
-                  source.row(source_offset_[b] + pos).data(), symbol_size_);
-    } else {
-      std::memcpy(out.data(),
-                  parities[b].row(pos - block_source_[b]).data(),
-                  symbol_size_);
+/// Each block's source rows are a contiguous range of the global source, so
+/// the encoder needs no state at all: a source symbol is a memcpy through
+/// the interleaving map, and a parity symbol is one per-block encode_one
+/// over a sub-view of the borrowed source (no staging copies).
+class InterleavedCode::Encoder final : public fec::BlockEncoder {
+ public:
+  Encoder(const InterleavedCode& code, util::ConstSymbolView source)
+      : code_(code), source_(source) {
+    if (source_.rows() != code.source_count() ||
+        source_.symbol_size() != code.symbol_size()) {
+      throw std::invalid_argument("InterleavedCode: source shape mismatch");
     }
   }
+
+  std::size_t source_count() const override { return code_.source_count(); }
+  std::size_t encoded_count() const override { return code_.encoded_count(); }
+  std::size_t symbol_size() const override { return code_.symbol_size(); }
+
+  void write_symbol(std::uint32_t index, util::ByteSpan out) const override {
+    if (index >= code_.encoded_count()) {
+      throw std::out_of_range("InterleavedCode: encoder index");
+    }
+    if (out.size() != code_.symbol_size()) {
+      throw std::invalid_argument("InterleavedCode: encoder output size");
+    }
+    const auto [b, pos] = code_.index_map_[index];
+    const std::size_t kb = code_.block_source_[b];
+    if (pos < kb) {
+      std::memcpy(out.data(),
+                  source_.row(code_.source_offset_[b] + pos).data(),
+                  out.size());
+    } else {
+      const util::ConstSymbolView block(
+          source_.data() + code_.source_offset_[b] * code_.symbol_size_, kb,
+          code_.symbol_size_);
+      code_.codecs_[code_.codec_of_block_[b]]->encode_one(block, pos - kb,
+                                                          out);
+    }
+  }
+
+ private:
+  const InterleavedCode& code_;
+  util::ConstSymbolView source_;
+};
+
+std::unique_ptr<fec::BlockEncoder> InterleavedCode::make_encoder(
+    util::ConstSymbolView source) const {
+  return std::make_unique<Encoder>(*this, source);
 }
 
 class InterleavedCode::Structural final : public StructuralDecoder {

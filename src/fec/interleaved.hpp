@@ -52,8 +52,8 @@ class InterleavedCode final : public ErasureCode {
   };
   Position position(std::uint32_t encoded_index) const;
 
-  void encode(const util::SymbolMatrix& source,
-              util::SymbolMatrix& encoding) const override;
+  std::unique_ptr<BlockEncoder> make_encoder(
+      util::ConstSymbolView source) const override;
 
   std::unique_ptr<IncrementalDecoder> make_decoder() const override;
   std::unique_ptr<StructuralDecoder> make_structural_decoder() const override;
@@ -63,6 +63,7 @@ class InterleavedCode final : public ErasureCode {
   class BlockCodec;
 
  private:
+  class Encoder;
   class Decoder;
   class Structural;
 

@@ -62,21 +62,9 @@ class RsErasureCode final : public ErasureCode {
 
   const Codec& codec() const { return codec_; }
 
-  void encode(const util::SymbolMatrix& source,
-              util::SymbolMatrix& encoding) const override {
-    const std::size_t k = source_count();
-    const std::size_t n = encoded_count();
-    if (source.rows() != k || encoding.rows() != n ||
-        source.symbol_size() != symbol_size_ ||
-        encoding.symbol_size() != symbol_size_) {
-      throw std::invalid_argument("RsErasureCode: shape mismatch");
-    }
-    // Systematic prefix.
-    std::memcpy(encoding.data(), source.data(), source.size_bytes());
-    util::SymbolMatrix parity(codec_.parity_count(), symbol_size_);
-    codec_.encode(source, parity);
-    std::memcpy(encoding.data() + k * symbol_size_, parity.data(),
-                parity.size_bytes());
+  std::unique_ptr<BlockEncoder> make_encoder(
+      util::ConstSymbolView source) const override {
+    return std::make_unique<Encoder>(*this, source);
   }
 
   std::unique_ptr<IncrementalDecoder> make_decoder() const override {
@@ -89,6 +77,46 @@ class RsErasureCode final : public ErasureCode {
   }
 
  private:
+  /// Stateless beyond the borrowed source view: the systematic prefix is a
+  /// memcpy and each parity row is synthesized per index from the codec's
+  /// precomputed generator row (k field FMAs straight into the caller's
+  /// buffer — no allocation on the per-symbol path).
+  class Encoder final : public BlockEncoder {
+   public:
+    Encoder(const RsErasureCode& code, util::ConstSymbolView source)
+        : code_(code), source_(source) {
+      if (source_.rows() != code.source_count() ||
+          source_.symbol_size() != code.symbol_size()) {
+        throw std::invalid_argument("RsErasureCode: source shape mismatch");
+      }
+    }
+
+    std::size_t source_count() const override { return code_.source_count(); }
+    std::size_t encoded_count() const override {
+      return code_.encoded_count();
+    }
+    std::size_t symbol_size() const override { return code_.symbol_size(); }
+
+    void write_symbol(std::uint32_t index, util::ByteSpan out) const override {
+      const std::size_t k = code_.source_count();
+      if (index >= code_.encoded_count()) {
+        throw std::out_of_range("RsErasureCode: encoder index");
+      }
+      if (out.size() != code_.symbol_size()) {
+        throw std::invalid_argument("RsErasureCode: encoder output size");
+      }
+      if (index < k) {
+        std::memcpy(out.data(), source_.row(index).data(), out.size());
+      } else {
+        code_.codec_.encode_one(source_, index - k, out);
+      }
+    }
+
+   private:
+    const RsErasureCode& code_;
+    util::ConstSymbolView source_;
+  };
+
   class Decoder final : public IncrementalDecoder {
    public:
     explicit Decoder(const RsErasureCode& code)

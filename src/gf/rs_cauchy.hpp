@@ -10,6 +10,7 @@
 // elimination.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
@@ -110,10 +111,13 @@ class CauchyCodec {
     }
   }
 
-  /// Encodes a single parity symbol (used by the Tornado cascade tail, where
-  /// a specific parity index is requested).
+  /// Encodes a single parity symbol (used by the Tornado cascade tail and
+  /// the streaming encoders, where a specific parity index is requested).
   void encode_one(util::ConstSymbolView source, std::size_t parity_row,
                   util::ByteSpan out) const {
+    if (out.size() % Field::kSymbolAlignment != 0) {
+      throw std::invalid_argument("CauchyCodec: symbol alignment");
+    }
     std::fill(out.begin(), out.end(), 0);
     for (std::size_t j = 0; j < k_; ++j) {
       const auto src = source.row(j);

@@ -11,6 +11,7 @@
 // impractical at large k, exactly the effect the paper reports.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
@@ -55,6 +56,21 @@ class VandermondeCodec {
         Field::fma_buffer(parity_out.row(i).data(), src.data(), src.size(),
                           gen_.at(i, j));
       }
+    }
+  }
+
+  /// Encodes a single parity symbol (the streaming-encoder path, where a
+  /// specific parity index is requested on demand).
+  void encode_one(util::ConstSymbolView source, std::size_t parity_row,
+                  util::ByteSpan out) const {
+    if (out.size() % Field::kSymbolAlignment != 0) {
+      throw std::invalid_argument("VandermondeCodec: symbol alignment");
+    }
+    std::fill(out.begin(), out.end(), 0);
+    for (std::size_t j = 0; j < k_; ++j) {
+      const auto src = source.row(j);
+      Field::fma_buffer(out.data(), src.data(), src.size(),
+                        gen_.at(parity_row, j));
     }
   }
 

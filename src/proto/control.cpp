@@ -32,6 +32,17 @@ std::uint64_t get_u64(const std::uint8_t* in) {
 
 }  // namespace
 
+fec::CodecParams ControlInfo::codec_params() const {
+  fec::CodecParams params;
+  params.k = source_count;
+  params.stretch = static_cast<double>(encoded_count) /
+                   static_cast<double>(source_count);
+  params.symbol_size = symbol_size;
+  params.seed = graph_seed;
+  params.variant = variant;
+  return params;
+}
+
 core::TornadoParams ControlInfo::tornado_params() const {
   core::TornadoParams params =
       variant == 0
@@ -57,6 +68,7 @@ void ControlInfo::serialize(util::ByteSpan out) const {
   put_u32(out.data() + 32, variant);
   put_u32(out.data() + 36, layers);
   put_u64(out.data() + 40, permutation_seed);
+  put_u32(out.data() + 48, static_cast<std::uint32_t>(codec));
 }
 
 ControlInfo ControlInfo::parse(util::ConstByteSpan in) {
@@ -75,6 +87,11 @@ ControlInfo ControlInfo::parse(util::ConstByteSpan in) {
   info.variant = get_u32(in.data() + 32);
   info.layers = get_u32(in.data() + 36);
   info.permutation_seed = get_u64(in.data() + 40);
+  const std::uint32_t codec = get_u32(in.data() + 48);
+  if (codec > 0xff) {
+    throw std::invalid_argument("ControlInfo: codec id out of range");
+  }
+  info.codec = static_cast<fec::CodecId>(codec);
   if (info.symbol_size == 0 || info.source_count == 0 ||
       info.encoded_count <= info.source_count) {
     throw std::invalid_argument("ControlInfo: inconsistent fields");
@@ -108,7 +125,8 @@ std::vector<std::uint8_t> symbols_to_file(util::ConstSymbolView symbols,
 ControlInfo make_control_info(std::uint64_t file_bytes,
                               std::size_t symbol_size, unsigned variant,
                               std::uint64_t graph_seed, unsigned layers,
-                              std::uint64_t permutation_seed) {
+                              std::uint64_t permutation_seed,
+                              fec::CodecId codec) {
   ControlInfo info;
   info.file_bytes = file_bytes;
   info.symbol_size = static_cast<std::uint32_t>(symbol_size);
@@ -118,6 +136,7 @@ ControlInfo make_control_info(std::uint64_t file_bytes,
   info.variant = variant;
   info.layers = layers;
   info.permutation_seed = permutation_seed;
+  info.codec = codec;
   // n = 2k, the stretch factor used throughout the paper.
   info.encoded_count = 2 * info.source_count;
   return info;

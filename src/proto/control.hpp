@@ -13,24 +13,31 @@
 #include <vector>
 
 #include "core/cascade.hpp"
+#include "fec/codec_registry.hpp"
 #include "util/symbols.hpp"
 
 namespace fountain::proto {
 
 struct ControlInfo {
-  static constexpr std::uint32_t kMagic = 0x46544E31;  // "FTN1"
-  static constexpr std::size_t kWireSize = 48;
+  static constexpr std::uint32_t kMagic = 0x46544E32;  // "FTN2"
+  static constexpr std::size_t kWireSize = 52;
 
   std::uint64_t file_bytes = 0;     // true length before padding
   std::uint32_t symbol_size = 0;    // P
   std::uint32_t source_count = 0;   // k
   std::uint32_t encoded_count = 0;  // n (so stretch = n / k)
-  std::uint64_t graph_seed = 0;     // cascade construction seed
-  std::uint32_t variant = 0;        // 0 = Tornado A, 1 = Tornado B
+  std::uint64_t graph_seed = 0;     // code construction seed
+  std::uint32_t variant = 0;        // codec sub-family (fec::CodecParams)
   std::uint32_t layers = 1;         // multicast groups
   std::uint64_t permutation_seed = 0;
+  /// Erasure-code family; must match the codec byte of the data packets.
+  fec::CodecId codec = fec::CodecId::kTornado;
 
-  /// Derives the Tornado parameters a client must use.
+  /// The registry parameters a client must use: feed these plus `codec` to
+  /// fec::CodecRegistry to instantiate the server's exact code.
+  fec::CodecParams codec_params() const;
+
+  /// Derives the Tornado parameters a client must use (codec == kTornado).
   core::TornadoParams tornado_params() const;
 
   void serialize(util::ByteSpan out) const;
@@ -52,6 +59,7 @@ std::vector<std::uint8_t> symbols_to_file(util::ConstSymbolView symbols,
 ControlInfo make_control_info(std::uint64_t file_bytes,
                               std::size_t symbol_size, unsigned variant,
                               std::uint64_t graph_seed, unsigned layers,
-                              std::uint64_t permutation_seed);
+                              std::uint64_t permutation_seed,
+                              fec::CodecId codec = fec::CodecId::kTornado);
 
 }  // namespace fountain::proto

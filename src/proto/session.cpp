@@ -22,6 +22,14 @@ engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
   return policy;
 }
 
+SessionResult run_session(fec::CodecId codec, const fec::CodecParams& params,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          std::uint64_t seed, std::uint64_t max_rounds) {
+  const auto code = fec::CodecRegistry::builtin().create(codec, params);
+  return run_session(*code, proto, clients, seed, max_rounds);
+}
+
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
@@ -29,8 +37,7 @@ SessionResult run_session(const fec::ErasureCode& code,
   engine::SessionConfig engine_config;
   engine_config.horizon = max_rounds;
   engine::Session session(code, engine_config);
-  const auto server = std::make_shared<FountainServer>(
-      proto, code.encoded_count(), 0x5eed, code.codec_id());
+  const auto server = std::make_shared<FountainServer>(proto, code, 0x5eed);
   const engine::SourceId source = session.add_source(server);
 
   for (std::size_t i = 0; i < clients.size(); ++i) {

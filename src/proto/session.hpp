@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/session.hpp"
+#include "fec/codec_registry.hpp"
 #include "fec/erasure_code.hpp"
 #include "proto/config.hpp"
 
@@ -52,6 +53,15 @@ engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
 /// One receiver per entry of `clients`; receiver i's channel and adaptation
 /// streams derive from seed + i deterministically.
 SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          std::uint64_t seed, std::uint64_t max_rounds);
+
+/// As above, but the code is instantiated from advertised wire/control
+/// fields via the built-in fec::CodecRegistry — the form a real deployment
+/// uses, where server and receivers share only (codec id, CodecParams)
+/// rather than an ErasureCode object.
+SessionResult run_session(fec::CodecId codec, const fec::CodecParams& params,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
                           std::uint64_t seed, std::uint64_t max_rounds);

@@ -7,12 +7,14 @@
 // RS tail reads and writes `encoding` rows directly — without intermediate
 // copies.
 //
-// Invariants: row(i) requires i < rows() (unchecked); returned spans and
-// views alias the underlying buffer and are invalidated by assigning to or
-// moving the owning matrix. xor_into requires dst.size() == src.size() and
-// tolerates dst == src (which zeroes dst). Sizes are bytes throughout.
+// Invariants: row(i) requires i < rows() (assert-checked in debug builds,
+// unchecked in release); returned spans and views alias the underlying
+// buffer and are invalidated by assigning to or moving the owning matrix.
+// xor_into requires dst.size() == src.size() and tolerates dst == src (which
+// zeroes dst). Sizes are bytes throughout.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -48,6 +50,7 @@ class ConstSymbolView {
   bool empty() const { return rows_ == 0; }
 
   ConstByteSpan row(std::size_t i) const {
+    assert(i < rows_ && "ConstSymbolView::row: index out of range");
     return ConstByteSpan(data_ + i * symbol_size_, symbol_size_);
   }
   const std::uint8_t* data() const { return data_; }
@@ -78,6 +81,7 @@ class SymbolView {
   bool empty() const { return rows_ == 0; }
 
   ByteSpan row(std::size_t i) const {
+    assert(i < rows_ && "SymbolView::row: index out of range");
     return ByteSpan(data_ + i * symbol_size_, symbol_size_);
   }
   std::uint8_t* data() const { return data_; }
@@ -114,9 +118,11 @@ class SymbolMatrix {
   bool empty() const { return rows_ == 0; }
 
   ByteSpan row(std::size_t i) {
+    assert(i < rows_ && "SymbolMatrix::row: index out of range");
     return ByteSpan(data_.data() + i * symbol_size_, symbol_size_);
   }
   ConstByteSpan row(std::size_t i) const {
+    assert(i < rows_ && "SymbolMatrix::row: index out of range");
     return ConstByteSpan(data_.data() + i * symbol_size_, symbol_size_);
   }
 
@@ -126,10 +132,12 @@ class SymbolMatrix {
 
   /// Views of a contiguous row range [first, first + count).
   SymbolView rows_view(std::size_t first, std::size_t count) {
+    assert(first + count <= rows_ && "SymbolMatrix::rows_view: range");
     return SymbolView(data_.data() + first * symbol_size_, count,
                       symbol_size_);
   }
   ConstSymbolView rows_view(std::size_t first, std::size_t count) const {
+    assert(first + count <= rows_ && "SymbolMatrix::rows_view: range");
     return ConstSymbolView(data_.data() + first * symbol_size_, count,
                            symbol_size_);
   }

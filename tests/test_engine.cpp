@@ -244,8 +244,7 @@ TEST(SessionDataPath, StridedSourcesReconstructPayload) {
   core::TornadoCode code(core::TornadoParams::tornado_a(300, 32, 9));
   util::SymbolMatrix file(300, 32);
   file.fill_random(21);
-  util::SymbolMatrix encoding(code.encoded_count(), 32);
-  code.encode(file, encoding);
+  const auto encoder = code.make_encoder(file);
 
   util::Rng rng(5);
   const auto order =
@@ -256,7 +255,7 @@ TEST(SessionDataPath, StridedSourcesReconstructPayload) {
   Session session(code, config);
   ReceiverSpec spec;
   spec.sink = std::make_unique<engine::DataSink>(code.make_decoder(),
-                                                 encoding);
+                                                 *encoder);
   auto* sink = static_cast<engine::DataSink*>(spec.sink.get());
   const ReceiverId id = session.add_receiver(std::move(spec));
   for (unsigned p = 0; p < 3; ++p) {
@@ -281,8 +280,7 @@ TEST(SessionPooling, SinksAreReusedAcrossCohorts) {
   core::TornadoCode code(core::TornadoParams::tornado_a(200, 16, 11));
   util::SymbolMatrix file(200, 16);
   file.fill_random(31);
-  util::SymbolMatrix encoding(code.encoded_count(), 16);
-  code.encode(file, encoding);
+  const auto encoder = code.make_encoder(file);
   const auto order = carousel::Carousel::sequential(code.encoded_count());
 
   for (const bool data_sinks : {false, true}) {
@@ -293,9 +291,9 @@ TEST(SessionPooling, SinksAreReusedAcrossCohorts) {
     const SourceId src = session.add_source(
         std::make_shared<CarouselSource>(order, code.codec_id()));
     if (data_sinks) {
-      session.set_sink_factory([&code, &encoding] {
+      session.set_sink_factory([&code, &encoder] {
         return std::make_unique<engine::DataSink>(code.make_decoder(),
-                                                  encoding);
+                                                  *encoder);
       });
     }
     for (int r = 0; r < 4; ++r) {

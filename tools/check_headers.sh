@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must compile
+# as its own translation unit (i.e. include everything it uses), so the API
+# headers cannot grow hidden include-order dependencies. CI runs this; run it
+# locally as tools/check_headers.sh [compiler].
+set -u
+
+cd "$(dirname "$0")/.."
+CXX="${1:-${CXX:-c++}}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+status=0
+checked=0
+while IFS= read -r header; do
+  rel="${header#src/}"
+  tu="$tmpdir/tu.cpp"
+  printf '#include "%s"\n#include "%s"\nint main() { return 0; }\n' \
+    "$rel" "$rel" > "$tu"   # double include also exercises the include guard
+  if ! "$CXX" -std=c++20 -Wall -Wextra -Werror -fsyntax-only -Isrc "$tu" \
+      2> "$tmpdir/err"; then
+    echo "NOT SELF-CONTAINED: $header"
+    sed 's/^/    /' "$tmpdir/err"
+    status=1
+  fi
+  checked=$((checked + 1))
+done < <(find src -name '*.hpp' | sort)
+
+echo "checked $checked headers: $([ "$status" -eq 0 ] && echo all self-contained || echo FAILURES above)"
+exit "$status"
