@@ -1,14 +1,21 @@
 // The Section 7 prototype as an engine scenario: a digital-fountain server
-// distributing a 2 MB file across 4 multicast layers to receivers that probe
-// for capacity during bursts, join layers at synchronization points and back
-// off under congestion. Receivers join the session asynchronously (a third
-// of them tune in mid-transfer), which the old lockstep round loop could not
-// express.
+// distributing a 2 MB file across 4 multicast layers to two kinds of
+// receivers, demonstrating both halves of the adaptation plane:
+//
+//  * burst-probe receivers (the paper's Section 7.2 machinery) on private
+//    lossy channels with a drifting synthetic capacity, and
+//  * loss-driven receivers (cc::LossDrivenPolicy, RLM-style backed-off join
+//    timers) sharing one bottleneck queue, so each member's joins raise its
+//    siblings' loss and the group negotiates its fair share implicitly.
+//
+// Receivers join the session asynchronously (a third of them tune in
+// mid-transfer), which the old lockstep round loop could not express.
 //
 //   $ ./layered_session [receivers] [max_rounds]
 //
-// Prints one line per receiver: observed loss, subscription moves, and the
-// three efficiency metrics of Section 7.3 (eta = eta_c * eta_d).
+// Prints one line per receiver: policy, observed loss, subscription moves,
+// final level, and the efficiency metrics of Section 7.3 (eta = eta_c *
+// eta_d).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -35,34 +42,58 @@ int main(int argc, char** argv) {
   proto::ProtocolConfig cfg;
   cfg.layers = 4;
 
+  // One shared last-mile queue for the loss-driven half of the population:
+  // capacity ~1.3x what the group needs to sit at level 1 together, so the
+  // group's fair share lands between levels 1 and 2.
+  const std::size_t shared_count = receivers / 2;
+  const double level1_rate = 2.0 * (2.0 * k) / 8.0;  // n * level_rate(1) / B
+  std::vector<proto::BottleneckSpec> bottlenecks;
+  bottlenecks.push_back(proto::BottleneckSpec{
+      1.3 * static_cast<double>(shared_count == 0 ? 1 : shared_count) *
+      level1_rate});
+
   std::vector<proto::SimClientConfig> clients;
   util::Rng rng(11);
   for (std::size_t i = 0; i < receivers; ++i) {
     proto::SimClientConfig c;
-    c.base_loss = 0.35 * rng.uniform();
     c.initial_level = 0;
-    c.initial_capacity = static_cast<unsigned>(rng.below(cfg.layers));
-    c.capacity_change_prob = 0.01;
     // Every third receiver joins the running session later (asynchronous
     // access — the digital fountain's whole point).
     if (i % 3 == 2) c.join = 200 + rng.below(800);
+    if (i < shared_count) {
+      // Loss-driven receiver on the shared queue, light private tail loss.
+      c.loss_driven = true;
+      c.bottleneck = 0;
+      c.base_loss = 0.01 * rng.uniform();
+    } else {
+      // Burst-probe receiver on its private channel, drifting capacity.
+      c.base_loss = 0.35 * rng.uniform();
+      c.initial_capacity = static_cast<unsigned>(rng.below(cfg.layers));
+      c.capacity_change_prob = 0.01;
+    }
     clients.push_back(c);
   }
 
-  std::printf("layered digital fountain: %zu receivers, 4 layers, k = %zu "
-              "packets of 500 B (n = %zu)\n\n",
-              receivers, k, 2 * k);
-  const auto result = proto::run_session(fec::CodecId::kTornado, params, cfg,
-                                         clients, 3, max_rounds);
+  std::printf("layered digital fountain: %zu receivers (%zu loss-driven on a "
+              "shared %.0f pkt/round bottleneck, %zu burst-probe), 4 layers, "
+              "k = %zu packets of 500 B (n = %zu)\n\n",
+              receivers, shared_count, bottlenecks[0].capacity,
+              receivers - shared_count, k, 2 * k);
+  const auto code = fec::CodecRegistry::builtin().create(
+      fec::CodecId::kTornado, params);
+  const auto result = proto::run_session(*code, cfg, clients, bottlenecks, 3,
+                                         max_rounds);
 
-  std::printf("%-4s %6s %9s %7s %8s %8s %8s %10s\n", "rx", "join", "loss(%)",
-              "moves", "eta_d", "eta_c", "eta", "rounds");
+  std::printf("%-4s %-11s %6s %9s %7s %6s %8s %8s %8s %10s\n", "rx", "policy",
+              "join", "loss(%)", "moves", "level", "eta_d", "eta_c", "eta",
+              "rounds");
   for (std::size_t i = 0; i < result.receivers.size(); ++i) {
     const auto& r = result.receivers[i];
-    std::printf("%-4zu %6llu %9.1f %7u %8.3f %8.3f %8.3f %10llu%s\n", i,
+    std::printf("%-4zu %-11s %6llu %9.1f %7u %6u %8.3f %8.3f %8.3f %10llu%s\n",
+                i, clients[i].loss_driven ? "loss-driven" : "burst-probe",
                 static_cast<unsigned long long>(clients[i].join),
-                100.0 * r.observed_loss, r.level_changes, r.eta_d, r.eta_c,
-                r.eta,
+                100.0 * r.observed_loss, r.level_changes, r.final_level,
+                r.eta_d, r.eta_c, r.eta,
                 static_cast<unsigned long long>(r.rounds_to_complete),
                 r.completed ? "" : " (incomplete)");
   }

@@ -1,0 +1,78 @@
+// Trajectory instrumentation for the adaptation plane: a decorator that
+// logs every level change a policy makes, plus the time-weighted dwell
+// metric the convergence checks are written in. Shared by the
+// fig7_adaptation bench (the CI convergence gate) and the adaptation soak
+// tests so both judge convergence by exactly the same computation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cc/receiver_policy.hpp"
+
+namespace fountain::cc {
+
+struct LevelChange {
+  engine::Time at = 0;
+  unsigned level = 0;
+};
+
+/// A receiver's subscription trajectory: its level as a step function,
+/// entry i holding from trace[i].at until trace[i+1].at (or forever).
+using LevelTrace = std::vector<LevelChange>;
+
+/// Decorates a policy with a trajectory log (one entry per level change,
+/// plus the initial level stamped with the receiver's join tick). The
+/// log records the inner policy's decisions before any engine clamping.
+class TracingPolicy final : public ReceiverPolicy {
+ public:
+  /// `join` is the tick the receiver enters the session (reset() has no
+  /// time argument, so the first trace entry is stamped with it).
+  TracingPolicy(std::unique_ptr<ReceiverPolicy> inner, engine::Time join,
+                LevelTrace* out)
+      : inner_(std::move(inner)), join_(join), out_(out) {}
+
+  void reset(unsigned initial_level, unsigned max_level,
+             std::uint64_t seed) override {
+    inner_->reset(initial_level, max_level, seed);
+    out_->clear();
+    out_->push_back(LevelChange{join_, initial_level});
+  }
+  unsigned on_round(const RoundView& round, unsigned level) override {
+    const unsigned next = inner_->on_round(round, level);
+    if (next != level) out_->push_back(LevelChange{round.now, next});
+    return next;
+  }
+  void on_forced_level(unsigned level) override {
+    inner_->on_forced_level(level);
+  }
+
+ private:
+  std::unique_ptr<ReceiverPolicy> inner_;
+  engine::Time join_;
+  LevelTrace* out_;
+};
+
+/// Time-weighted fraction of [begin, end) the trajectory spends within
+/// `tolerance` levels of `target` — the dwell metric behind "converged to
+/// within one layer of fair share and held it".
+inline double fraction_near(const LevelTrace& trace, engine::Time begin,
+                            engine::Time end, unsigned target,
+                            unsigned tolerance) {
+  if (end <= begin) return 1.0;
+  engine::Time near_ticks = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const engine::Time seg_begin = std::max(trace[i].at, begin);
+    const engine::Time seg_end =
+        std::min(i + 1 < trace.size() ? trace[i + 1].at : end, end);
+    if (seg_end <= seg_begin) continue;
+    const unsigned delta = trace[i].level > target ? trace[i].level - target
+                                                   : target - trace[i].level;
+    if (delta <= tolerance) near_ticks += seg_end - seg_begin;
+  }
+  return static_cast<double>(near_ticks) / static_cast<double>(end - begin);
+}
+
+}  // namespace fountain::cc

@@ -25,4 +25,45 @@ bool LossLink::deliver(Time now) {
   return !regimes_[current_].model->lost();
 }
 
+SharedBottleneck::SharedBottleneck(double capacity) : capacity_(capacity) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("SharedBottleneck: capacity must be > 0");
+  }
+}
+
+std::uint32_t SharedBottleneck::attach() {
+  rates_.push_back(0.0);
+  return static_cast<std::uint32_t>(rates_.size() - 1);
+}
+
+void SharedBottleneck::set_rate(std::uint32_t slot, double packets_per_tick) {
+  if (slot >= rates_.size()) {
+    throw std::out_of_range("SharedBottleneck: unknown slot");
+  }
+  if (packets_per_tick < 0.0) {
+    throw std::invalid_argument("SharedBottleneck: negative rate");
+  }
+  offered_ += packets_per_tick - rates_[slot];
+  rates_[slot] = packets_per_tick;
+  if (offered_ < 0.0) offered_ = 0.0;  // guard float cancellation drift
+}
+
+BottleneckLink::BottleneckLink(std::shared_ptr<SharedBottleneck> bottleneck,
+                               std::uint64_t seed, double base_loss)
+    : bottleneck_(std::move(bottleneck)), base_loss_(base_loss), rng_(seed) {
+  if (!bottleneck_) {
+    throw std::invalid_argument("BottleneckLink: null bottleneck");
+  }
+  if (base_loss < 0.0 || base_loss > 1.0) {
+    throw std::invalid_argument("BottleneckLink: base_loss outside [0, 1]");
+  }
+  slot_ = bottleneck_->attach();
+}
+
+bool BottleneckLink::deliver(Time /*now*/) {
+  const double queue = bottleneck_->loss_probability();
+  const double p = queue + base_loss_ - queue * base_loss_;
+  return !rng_.chance(p);
+}
+
 }  // namespace fountain::engine

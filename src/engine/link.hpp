@@ -2,6 +2,12 @@
 // carries its own LinkModel, so a population can be arbitrarily
 // heterogeneous: one receiver on a clean link, its neighbour behind a bursty
 // Gilbert-Elliott channel, a third whose link degrades mid-session.
+//
+// Links may also share state: a SharedBottleneck aggregates the subscribed
+// rates of every receiver attached to it and converts the excess over its
+// capacity into queueing loss, so one receiver joining a layer raises the
+// loss its siblings observe — the coupling that makes receiver-driven
+// congestion control meaningful (see src/cc/).
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 
 #include "engine/types.hpp"
 #include "net/loss.hpp"
+#include "util/random.hpp"
 
 namespace fountain::engine {
 
@@ -19,6 +26,20 @@ class LinkModel {
   /// Advances the channel one packet at tick `now`; true = delivered.
   /// `now` is non-decreasing across calls within one receiver's lifetime.
   virtual bool deliver(Time now) = 0;
+
+  /// Informs the link of the subscriber's current offered rate through it,
+  /// in packets per tick. The engine calls this whenever the receiver's
+  /// subscription level changes (join, scripted move, policy decision) and
+  /// with 0.0 when the receiver finishes. Stateless links ignore it.
+  virtual void set_subscriber_rate(double packets_per_tick) {
+    (void)packets_per_tick;
+  }
+
+  /// Identity of the mutable state this link shares with other links, or
+  /// nullptr for a private link. The engine requires all receivers whose
+  /// links share state to be simulated in the same cohort (their rates must
+  /// aggregate concurrently) and validates that before running.
+  virtual const void* shared_state() const { return nullptr; }
 };
 
 /// Lossless link.
@@ -46,6 +67,67 @@ class LossLink final : public LinkModel {
   };
   std::vector<Regime> regimes_;  // regimes_[0].at == 0
   std::size_t current_ = 0;
+};
+
+/// The shared half of a congested last-mile link: a fluid queue of capacity
+/// `capacity` packets per tick carrying the subscriptions of every attached
+/// receiver. Offered load is the sum of the attached subscribers' declared
+/// rates; the fraction exceeding capacity is dropped uniformly, so
+///
+///   loss = max(0, (offered - capacity) / offered).
+///
+/// Create one per bottleneck, attach each subscription through a
+/// BottleneckLink, and let the engine keep the rates current. All receivers
+/// attached to one bottleneck must run in the same engine cohort
+/// (Session::run validates this); rates return to zero as members finish,
+/// so the object is clean for reuse by construction.
+class SharedBottleneck {
+ public:
+  /// Throws std::invalid_argument unless capacity > 0.
+  explicit SharedBottleneck(double capacity);
+
+  double capacity() const { return capacity_; }
+  /// Aggregate declared rate of all attached subscribers, packets per tick.
+  double offered() const { return offered_; }
+  /// Drop probability of the fluid queue at the current offered load.
+  double loss_probability() const {
+    return offered_ <= capacity_ ? 0.0
+                                 : (offered_ - capacity_) / offered_;
+  }
+
+  /// Registers one subscriber at rate 0; returns its slot.
+  std::uint32_t attach();
+  void set_rate(std::uint32_t slot, double packets_per_tick);
+
+ private:
+  double capacity_;
+  double offered_ = 0.0;
+  std::vector<double> rates_;
+};
+
+/// One subscription's path through a SharedBottleneck: queueing loss from
+/// the shared fluid queue, optionally compounded with an independent
+/// Bernoulli `base_loss` (the subscriber's private tail link). Drop draws
+/// come from a per-link generator seeded at construction, so results do not
+/// depend on the order receivers are processed within a tick.
+class BottleneckLink final : public LinkModel {
+ public:
+  /// Throws std::invalid_argument on a null bottleneck or base_loss
+  /// outside [0, 1].
+  BottleneckLink(std::shared_ptr<SharedBottleneck> bottleneck,
+                 std::uint64_t seed, double base_loss = 0.0);
+
+  bool deliver(Time now) override;
+  void set_subscriber_rate(double packets_per_tick) override {
+    bottleneck_->set_rate(slot_, packets_per_tick);
+  }
+  const void* shared_state() const override { return bottleneck_.get(); }
+
+ private:
+  std::shared_ptr<SharedBottleneck> bottleneck_;
+  std::uint32_t slot_;
+  double base_loss_;
+  util::Rng rng_;
 };
 
 }  // namespace fountain::engine

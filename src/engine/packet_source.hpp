@@ -32,6 +32,17 @@ class PacketSource {
   /// carousel). Receivers subscribed at level L hear layers [0, L].
   virtual unsigned layer_count() const { return 1; }
 
+  /// Average packets per firing addressed to a receiver subscribed at
+  /// `level` (`level` < layer_count()), the rate the engine declares to
+  /// shared-bottleneck links when the receiver's subscription changes.
+  /// Averaged over a schedule cycle (short final blocks thin some rounds);
+  /// occasional double-rate burst probes are excluded. Default: one packet
+  /// per firing.
+  virtual double subscribed_rate(unsigned level) const {
+    (void)level;
+    return 1.0;
+  }
+
   /// Appends firing `round`'s packets into `batch` (already cleared by the
   /// engine). MUST be a pure function of `round`.
   virtual void emit(std::uint64_t round, PacketBatch& batch) const = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "cc/policies.hpp"
 
 namespace fountain::engine {
 
@@ -29,16 +32,21 @@ struct Event {
 using EventQueue =
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
 
-// Per-receiver adaptation state while its cohort runs (Section 7.2 receiver
-// machinery, ported from the old lockstep SimClient).
+// Per-receiver adaptation state while its cohort runs: the subscription
+// level, the synthetic congestion environment of the legacy adaptive knobs
+// (drifting capacity + extra loss above it), and the active
+// cc::ReceiverPolicy — either the spec's explicit controller or the
+// built-in Section 7.2 burst-probe policy.
 struct AdaptState {
   std::uint8_t active = 0;  // 0 = not yet joined, 1 = live, 2 = finished
   unsigned level = 0;
   unsigned capacity = 0;
   unsigned max_level = 0;
-  bool join_cleared = false;
   std::uint32_t next_move = 0;
   util::Rng rng{0};
+  cc::ReceiverPolicy* controller = nullptr;  // null = fixed level
+  cc::BurstProbePolicy burst_probe;          // backing store for the legacy
+                                             // adaptive knobs
 };
 
 }  // namespace
@@ -145,6 +153,9 @@ class Session::CohortRunner {
   void fire_source(std::uint32_t src_idx, Time now);
   void process_batch(std::size_t m, Subscription& sub,
                      const SourceState& src_state, Time now);
+  /// Declares member m's current per-subscription offered rates to its
+  /// links (shared bottlenecks aggregate them into queueing loss).
+  void push_rates(std::size_t m);
 
   Session& s_;
   std::vector<ReceiverReport>& reports_;
@@ -203,12 +214,11 @@ void Session::CohortRunner::seed_events() {
 }
 
 void Session::CohortRunner::join_member(std::size_t m, Time) {
-  const ReceiverSpec& spec = member(m).spec;
+  ReceiverSpec& spec = member(m).spec;
   AdaptState& st = adapt_[m];
   st.active = 1;
   st.level = spec.policy.initial_level;
   st.capacity = spec.policy.initial_capacity;
-  st.join_cleared = false;
   st.next_move = 0;
   st.rng.reseed(spec.policy.seed);
   st.max_level = 0;
@@ -218,12 +228,36 @@ void Session::CohortRunner::join_member(std::size_t m, Time) {
   st.level = std::min(st.level, st.max_level);
   st.capacity = std::min(st.capacity, st.max_level);
 
+  if (spec.controller) {
+    st.controller = spec.controller.get();
+  } else if (spec.policy.adaptive) {
+    st.burst_probe = cc::BurstProbePolicy(spec.policy.drop_loss_threshold);
+    st.controller = &st.burst_probe;
+  } else {
+    st.controller = nullptr;
+  }
+  if (st.controller) {
+    st.controller->reset(st.level, st.max_level, spec.policy.seed);
+  }
+  report(m).peak_level = st.level;
+  push_rates(m);
+
   Slot& slot = slots_[m];
   if (!spec.sink) {
     if (!slot.sink) slot.sink = s_.sink_factory_();
     slot.sink->reset();
   }
   slot.seen.assign(s_.code_.encoded_count(), 0);
+}
+
+void Session::CohortRunner::push_rates(std::size_t m) {
+  const AdaptState& st = adapt_[m];
+  for (Subscription& sub : member(m).subs) {
+    const SourceState& src = s_.sources_[sub.source];
+    const unsigned level = std::min(st.level, src.max_level);
+    sub.link->set_subscriber_rate(src.source->subscribed_rate(level) /
+                                  static_cast<double>(src.period));
+  }
 }
 
 void Session::CohortRunner::finish_member(std::size_t m, bool completed,
@@ -234,8 +268,9 @@ void Session::CohortRunner::finish_member(std::size_t m, bool completed,
   rep.completed = completed;
   if (completed) rep.completed_at = now;
   rep.final_level = st.level;
-  for (const Subscription& sub : member(m).subs) {
+  for (Subscription& sub : member(m).subs) {
     --live_subscribers_[sub.source];
+    sub.link->set_subscriber_rate(0.0);  // stop loading shared bottlenecks
   }
   --remaining_;
 }
@@ -245,8 +280,11 @@ void Session::CohortRunner::apply_move(std::size_t m, const ScriptedMove& mv) {
   const unsigned level = std::min(mv.level, st.max_level);
   if (level != st.level) {
     st.level = level;
-    ++report(m).level_changes;
-    st.join_cleared = false;
+    ReceiverReport& rep = report(m);
+    ++rep.level_changes;
+    rep.peak_level = std::max(rep.peak_level, st.level);
+    if (st.controller) st.controller->on_forced_level(st.level);
+    push_rates(m);
   }
 }
 
@@ -331,27 +369,25 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
   rep.addressed += round_addressed;
   rep.lost += round_lost;
 
-  if (!policy.adaptive) return;
+  if (st.controller == nullptr) return;
 
-  // Congestion back-off: a bad firing forces an immediate drop.
-  const double round_loss =
-      round_addressed == 0 ? 0.0
-                           : static_cast<double>(round_lost) /
-                                 static_cast<double>(round_addressed);
-  if (round_loss > policy.drop_loss_threshold && st.level > 0) {
-    --st.level;
+  // Policy hook: summarize the firing and apply the controller's level
+  // decision, clamped to the subscribed sources' layer range.
+  cc::RoundView view;
+  view.now = now;
+  view.addressed = round_addressed;
+  view.lost = round_lost;
+  view.burst = batch_.burst;
+  view.probe_seen = probe_seen > 0;
+  view.probe_clean = probe_seen > 0 && !probe_loss;
+  view.sync_point = sp_on_my_level;
+  const unsigned want =
+      std::min(st.controller->on_round(view, st.level), st.max_level);
+  if (want != st.level) {
+    st.level = want;
     ++rep.level_changes;
-    st.join_cleared = false;
-    return;
-  }
-
-  // A clean burst probe clears the receiver to move up at the next SP.
-  if (batch_.burst && probe_seen > 0 && !probe_loss) st.join_cleared = true;
-
-  if (sp_on_my_level && st.join_cleared && st.level < st.max_level) {
-    ++st.level;
-    ++rep.level_changes;
-    st.join_cleared = false;
+    rep.peak_level = std::max(rep.peak_level, st.level);
+    push_rates(m);
   }
 }
 
@@ -386,6 +422,24 @@ void Session::CohortRunner::run() {
 
 std::vector<ReceiverReport> Session::run() {
   if (ran_) throw std::logic_error("Session: already run");
+  // Shared link state (bottlenecks) aggregates rates across receivers, so
+  // every receiver touching one must be simulated in the same cohort.
+  std::unordered_map<const void*, std::pair<std::size_t, std::size_t>> shared;
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    for (const Subscription& sub : receivers_[i].subs) {
+      if (const void* group = sub.link->shared_state()) {
+        auto [it, fresh] = shared.try_emplace(group, std::make_pair(i, i));
+        if (!fresh) it->second.second = i;  // receivers are added in order
+      }
+    }
+  }
+  for (const auto& [group, span] : shared) {
+    if (span.first / config_.cohort_size != span.second / config_.cohort_size) {
+      throw std::invalid_argument(
+          "Session: receivers sharing a bottleneck span several cohorts; "
+          "raise cohort_size or group them contiguously");
+    }
+  }
   ran_ = true;
   std::vector<ReceiverReport> reports(receivers_.size());
   std::vector<Slot> slots(std::min(config_.cohort_size, receivers_.size()));

@@ -18,10 +18,18 @@
 // what lets one run carry >= 100k structural receivers. The hot path (one
 // delivered packet) performs no allocation.
 //
-// Subscription policy. The adaptive policy is the paper's Section 7.2
-// receiver ported from the old lockstep SimClient: congestion loss above
-// capacity, back-off when a firing's loss exceeds the drop threshold, burst
-// probes clearing a move up at the next sync point on the receiver's level.
+// Adaptation plane. Receivers manage their own subscription level through a
+// cc::ReceiverPolicy evaluated on the event heap: after every firing a
+// receiver hears, the engine summarizes the round (addressed/lost packets,
+// burst-probe outcome, sync points) into a cc::RoundView and applies the
+// policy's level decision, clamped to the source's layer range. The legacy
+// SubscriptionPolicy{adaptive = true} knobs run the paper's Section 7.2
+// burst-probe receiver (cc::BurstProbePolicy) with a synthetic congestion
+// environment (drifting capacity, extra loss above it); a ReceiverSpec may
+// instead carry an explicit controller (e.g. cc::LossDrivenPolicy) and get
+// its congestion feedback from a real engine::SharedBottleneck, whose
+// queueing loss the engine keeps current by declaring each receiver's
+// subscribed rate to its links on every level change.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,7 @@
 #include <memory>
 #include <vector>
 
+#include "cc/receiver_policy.hpp"
 #include "engine/link.hpp"
 #include "engine/packet_source.hpp"
 #include "engine/sink.hpp"
@@ -42,7 +51,12 @@ namespace fountain::engine {
 
 /// How a receiver manages its subscription level (the highest layer it
 /// hears). Defaults describe a fixed-level receiver; `adaptive = true`
-/// enables the Section 7.2 join/back-off machinery.
+/// enables the Section 7.2 burst-probe machinery (cc::BurstProbePolicy)
+/// together with a synthetic congestion environment: the receiver's
+/// sustainable capacity drifts, and packets above it suffer extra loss.
+/// A ReceiverSpec carrying an explicit `controller` uses that policy
+/// instead (the knobs below other than `initial_level` and `seed` are then
+/// ignored unless `adaptive` keeps the synthetic environment on).
 struct SubscriptionPolicy {
   unsigned initial_level = 0;
   bool adaptive = false;
@@ -54,6 +68,7 @@ struct SubscriptionPolicy {
   double drop_loss_threshold = 0.45;    // firing loss fraction forcing a drop
   std::size_t burst_probe_window = 32;  // packets inspected during a burst
   std::uint64_t seed = 0;               // drives capacity + congestion draws
+                                        // and the controller's timer jitter
 };
 
 /// A scenario-scripted forced level change (churn): at tick `at` the
@@ -71,6 +86,11 @@ struct ReceiverSpec {
   Time leave = kNever;  // departs at `leave` (exclusive): churn
   SubscriptionPolicy policy;
   std::vector<ScriptedMove> moves;  // strictly increasing `at`
+  /// Receiver-private subscription controller (adaptation plane). When set
+  /// it replaces the built-in burst-probe policy: the engine reset()s it at
+  /// join (with policy.initial_level, the subscribed sources' top level and
+  /// policy.seed) and applies its on_round() decision after every firing.
+  std::unique_ptr<cc::ReceiverPolicy> controller;
   /// Receiver-private sink. When null the receiver uses the session's pooled
   /// sinks (the common case); set it to give one receiver a different sink
   /// type (e.g. a payload-verifying DataSink inside a structural population).
@@ -87,6 +107,7 @@ struct ReceiverReport {
   std::uint64_t rejected = 0;      // received from a codec-mismatched source
   unsigned level_changes = 0;
   unsigned final_level = 0;
+  unsigned peak_level = 0;         // highest level held at any point
 
   /// Fraction of addressed packets lost on the link.
   double observed_loss() const {

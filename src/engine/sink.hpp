@@ -26,6 +26,16 @@ class PacketSink {
   virtual void reset() = 0;
 };
 
+/// Never completes: for steady-state studies (adaptation trajectories,
+/// long-run loss) where receivers must keep listening for the whole
+/// horizon. Reception/distinctness accounting still happens in the engine.
+class NullSink final : public PacketSink {
+ public:
+  bool on_packet(const Delivery&) override { return false; }
+  bool complete() const override { return false; }
+  void reset() override {}
+};
+
 /// Index-only sink over a fec::StructuralDecoder — the workhorse of the
 /// receiver-population scenarios (Figures 4-6, 8), where decodability
 /// depends only on which indices arrived.

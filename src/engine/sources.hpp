@@ -22,6 +22,9 @@ class CarouselSource final : public PacketSource {
                  std::size_t packets_per_fire = 1);
 
   fec::CodecId codec_id() const override { return codec_; }
+  double subscribed_rate(unsigned) const override {
+    return static_cast<double>(packets_per_fire_);
+  }
   void emit(std::uint64_t round, PacketBatch& batch) const override;
 
  private:

@@ -62,6 +62,15 @@ class FountainServer final : public engine::PacketSource {
   // engine::PacketSource:
   fec::CodecId codec_id() const override { return codec_; }
   unsigned layer_count() const override { return config_.layers; }
+  /// Exact cycle average: over one schedule cycle every encoding index is
+  /// sent exactly layer_rate times per layer regardless of a short final
+  /// block, so a level-L subscriber averages n * level_rate(L) / B packets
+  /// per (non-burst) round.
+  double subscribed_rate(unsigned level) const override {
+    return static_cast<double>(schedule_.level_rate(level)) *
+           static_cast<double>(schedule_.encoding_length()) /
+           static_cast<double>(schedule_.block_size());
+  }
   void emit(std::uint64_t round, engine::PacketBatch& batch) const override;
 
   const sched::LayeredSchedule& schedule() const { return schedule_; }

@@ -34,11 +34,25 @@ SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
                           std::uint64_t seed, std::uint64_t max_rounds) {
+  return run_session(code, proto, clients, {}, seed, max_rounds);
+}
+
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          const std::vector<BottleneckSpec>& bottlenecks,
+                          std::uint64_t seed, std::uint64_t max_rounds) {
   engine::SessionConfig engine_config;
   engine_config.horizon = max_rounds;
   engine::Session session(code, engine_config);
   const auto server = std::make_shared<FountainServer>(proto, code, 0x5eed);
   const engine::SourceId source = session.add_source(server);
+
+  std::vector<std::shared_ptr<engine::SharedBottleneck>> queues;
+  queues.reserve(bottlenecks.size());
+  for (const BottleneckSpec& spec : bottlenecks) {
+    queues.push_back(std::make_shared<engine::SharedBottleneck>(spec.capacity));
+  }
 
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const SimClientConfig& client = clients[i];
@@ -48,11 +62,31 @@ SessionResult run_session(const fec::ErasureCode& code,
     engine::ReceiverSpec spec;
     spec.join = client.join;
     spec.policy = make_policy(client, proto, rx_seed ^ 0xada97a71c0ffee11ULL);
+    if (client.loss_driven) {
+      // The controller replaces the burst-probe machinery entirely.
+      spec.policy.adaptive = false;
+      spec.controller =
+          std::make_unique<cc::LossDrivenPolicy>(client.loss_driven_config);
+    }
+    if (client.bottleneck >= 0) {
+      // Real congestion comes from the shared queue; the synthetic
+      // capacity-drift environment would double-count it.
+      spec.policy.capacity_change_prob = 0.0;
+      spec.policy.congestion_extra_loss = 0.0;
+    }
     const engine::ReceiverId id = session.add_receiver(std::move(spec));
-    session.subscribe(id, source,
-                      std::make_unique<engine::LossLink>(
-                          std::make_unique<net::BernoulliLoss>(
-                              client.base_loss, rx_seed)));
+    if (client.bottleneck >= 0) {
+      const auto& queue =
+          queues.at(static_cast<std::size_t>(client.bottleneck));
+      session.subscribe(id, source,
+                        std::make_unique<engine::BottleneckLink>(
+                            queue, rx_seed, client.base_loss));
+    } else {
+      session.subscribe(id, source,
+                        std::make_unique<engine::LossLink>(
+                            std::make_unique<net::BernoulliLoss>(
+                                client.base_loss, rx_seed)));
+    }
   }
 
   const std::vector<engine::ReceiverReport> reports = session.run();
@@ -70,6 +104,8 @@ SessionResult run_session(const fec::ErasureCode& code,
     rep.eta_c = er.coding_efficiency(k);
     rep.eta_d = er.distinctness_efficiency();
     rep.level_changes = er.level_changes;
+    rep.final_level = er.final_level;
+    rep.peak_level = er.peak_level;
     rep.rounds_to_complete = er.completed ? er.completed_at + 1 : 0;
   }
   return result;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cc/policies.hpp"
 #include "engine/session.hpp"
 #include "fec/codec_registry.hpp"
 #include "fec/erasure_code.hpp"
@@ -16,9 +17,23 @@
 
 namespace fountain::proto {
 
+/// A shared last-mile link for a group of receivers: the engine models it
+/// as a SharedBottleneck fluid queue of `capacity` packets per round, so
+/// the aggregate subscription level of the group determines everyone's
+/// queueing loss (one member joining a layer raises its siblings' loss).
+struct BottleneckSpec {
+  double capacity = 0.0;  // packets per round through the shared queue
+};
+
 /// Per-receiver scenario knobs (the old SimClient's configuration): the
 /// background channel plus the Section 7.2 subscription machinery, which the
-/// engine's adaptive SubscriptionPolicy executes.
+/// engine's adaptive SubscriptionPolicy executes. Two extensions select the
+/// adaptation plane introduced with src/cc/: `loss_driven` swaps the
+/// burst-probe machinery for a cc::LossDrivenPolicy controller, and
+/// `bottleneck` moves the receiver from a private Bernoulli channel onto a
+/// shared BottleneckSpec queue (base_loss then compounds as its private
+/// tail loss; the synthetic capacity-drift environment is off since real
+/// congestion comes from the queue).
 struct SimClientConfig {
   double base_loss = 0.05;             // background loss on every packet
   double congestion_extra_loss = 0.45; // added when subscribed above capacity
@@ -27,6 +42,10 @@ struct SimClientConfig {
   unsigned initial_capacity = 3;       // in [0, layers)
   bool fixed_level = false;            // single-layer experiments pin level 0
   engine::Time join = 0;               // asynchronous joins (churn scenarios)
+  int bottleneck = -1;                 // index into the session's bottleneck
+                                       // list; -1 = private channel
+  bool loss_driven = false;            // use cc::LossDrivenPolicy
+  cc::LossDrivenConfig loss_driven_config;  // knobs when loss_driven
 };
 
 struct ReceiverReport {
@@ -37,6 +56,8 @@ struct ReceiverReport {
   double eta_c = 0.0;  // coding efficiency
   double eta_d = 0.0;  // distinctness efficiency
   unsigned level_changes = 0;
+  unsigned final_level = 0;
+  unsigned peak_level = 0;
   std::uint64_t rounds_to_complete = 0;
 };
 
@@ -55,6 +76,16 @@ engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
+                          std::uint64_t seed, std::uint64_t max_rounds);
+
+/// As above with shared bottlenecks: clients whose `bottleneck` index is
+/// >= 0 share the corresponding BottleneckSpec queue, so their levels
+/// couple through queueing loss. Throws std::out_of_range on a client
+/// naming a bottleneck the list does not have.
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          const std::vector<BottleneckSpec>& bottlenecks,
                           std::uint64_t seed, std::uint64_t max_rounds);
 
 /// As above, but the code is instantiated from advertised wire/control

@@ -39,9 +39,18 @@ class LayeredSchedule {
   std::vector<unsigned> layer_block_offsets(unsigned layer,
                                             std::uint64_t round) const;
 
-  /// Appends the global encoding indices sent on `layer` in round `j`
-  /// (the per-block offsets applied to every block; offsets beyond a short
-  /// final block are skipped).
+  /// Appends the global encoding indices sent on `layer` in round `j`: the
+  /// per-block offsets applied to every block, in block order.
+  ///
+  /// Short final block contract (n % B != 0): offsets landing past the end
+  /// of the encoding are skipped silently — never wrapped or clamped — so a
+  /// round's emission can undershoot layer_rate(layer) * block_count().
+  /// Because each offset recurs exactly layer_rate(layer) times per cycle,
+  /// the skips are evenly spread: every window of B / layer_rate(layer)
+  /// rounds still delivers each of the n indices exactly once (the
+  /// generalized One Level Property; pinned by
+  /// Schedule.PartialFinalBlockSkipsOffsetsPastTheEnd), and the average
+  /// per-round rate at subscription level L is n * level_rate(L) / B.
   void append_layer_packets(unsigned layer, std::uint64_t round,
                             std::vector<std::uint32_t>& out) const;
 

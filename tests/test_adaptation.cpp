@@ -1,0 +1,199 @@
+// Randomized end-to-end soak of the adaptation plane (labelled `soak` in
+// ctest): seeded fuzz over receiver populations, subscription policies
+// (fixed, burst-probe, loss-driven, and an adversarial chaos policy that
+// requests absurd levels) and shared-bottleneck capacities. Every receiver
+// must eventually decode, and no receiver's applied subscription level may
+// ever leave [0, g-1] — the engine clamp must hold against any policy.
+//
+// A second, controlled scenario asserts the convergence property the
+// fig7_adaptation bench gates on: a homogeneous loss-driven group behind
+// one bottleneck settles within one layer of its fair-share level and
+// holds it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cc/policies.hpp"
+#include "cc/trace.hpp"
+#include "engine/session.hpp"
+#include "fec/reed_solomon.hpp"
+#include "proto/server.hpp"
+#include "util/random.hpp"
+
+namespace fountain {
+namespace {
+
+using engine::ReceiverId;
+using engine::ReceiverSpec;
+using engine::Session;
+using engine::SessionConfig;
+using engine::SourceId;
+
+/// Adversarial policy: requests wildly out-of-range levels half the time.
+/// The engine must clamp every request into [0, max_level].
+class ChaosPolicy final : public cc::ReceiverPolicy {
+ public:
+  void reset(unsigned initial_level, unsigned, std::uint64_t seed) override {
+    (void)initial_level;
+    rng_.reseed(seed ^ 0xc4a05ULL);
+  }
+  unsigned on_round(const cc::RoundView&, unsigned level) override {
+    return rng_.chance(0.5)
+               ? static_cast<unsigned>(rng_.below(1'000'000'000))
+               : level;
+  }
+
+ private:
+  util::Rng rng_{0};
+};
+
+cc::LossDrivenConfig random_loss_driven_config(util::Rng& rng) {
+  cc::LossDrivenConfig knobs;
+  knobs.window_rounds = 4 + rng.below(12);
+  knobs.join_loss_threshold = 0.01 + 0.04 * rng.uniform();
+  knobs.leave_loss_threshold = 0.10 + 0.30 * rng.uniform();
+  knobs.initial_join_backoff = 4 + rng.below(16);
+  knobs.max_join_backoff =
+      knobs.initial_join_backoff << rng.below(6);
+  knobs.probe_rounds = 4 + rng.below(30);
+  knobs.join_timer_jitter = rng.uniform();
+  return knobs;
+}
+
+void run_fuzzed_scenario(std::uint64_t master_seed) {
+  SCOPED_TRACE(::testing::Message() << "master_seed=" << master_seed);
+  util::Rng rng(master_seed);
+
+  const unsigned g = 2 + static_cast<unsigned>(rng.below(4));  // 2..5 layers
+  const std::size_t k = 24 + rng.below(60);
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, k, k, 8);
+  proto::ProtocolConfig cfg;
+  cfg.layers = g;
+  const auto server = std::make_shared<proto::FountainServer>(
+      cfg, code->encoded_count(), 0x5eed ^ master_seed, code->codec_id());
+  const double rate0 = server->subscribed_rate(0);
+
+  SessionConfig config;
+  config.horizon = 20000;
+  Session session(*code, config);
+  const SourceId src = session.add_source(server);
+
+  const std::size_t receivers = 3 + rng.below(18);
+  const std::size_t queues_count = 1 + rng.below(2);
+  std::vector<std::shared_ptr<engine::SharedBottleneck>> queues;
+  for (std::size_t q = 0; q < queues_count; ++q) {
+    const double members = static_cast<double>(
+        receivers / queues_count + (q < receivers % queues_count ? 1 : 0));
+    // >= 0.8x the all-at-level-0 load: level-0 loss stays below ~25%, so
+    // every receiver keeps a positive reception rate and must decode.
+    const double capacity =
+        std::max(1.0, members * rate0 * (0.8 + 1.7 * rng.uniform()));
+    queues.push_back(std::make_shared<engine::SharedBottleneck>(capacity));
+  }
+
+  for (std::size_t i = 0; i < receivers; ++i) {
+    ReceiverSpec spec;
+    spec.join = rng.below(50);
+    spec.policy.seed = rng();
+    spec.policy.initial_level = static_cast<unsigned>(rng.below(g));
+    switch (rng.below(4)) {
+      case 0:  // fixed level
+        break;
+      case 1:  // legacy burst-probe machinery + synthetic environment
+        spec.policy.adaptive = true;
+        spec.policy.initial_capacity = static_cast<unsigned>(rng.below(g));
+        spec.policy.capacity_change_prob = 0.02 * rng.uniform();
+        spec.policy.congestion_extra_loss = 0.5 * rng.uniform();
+        break;
+      case 2:
+        spec.controller = std::make_unique<cc::LossDrivenPolicy>(
+            random_loss_driven_config(rng));
+        break;
+      default:
+        spec.controller = std::make_unique<ChaosPolicy>();
+        break;
+    }
+    if (rng.chance(0.3)) {
+      spec.moves.push_back(engine::ScriptedMove{
+          spec.join + 20 + rng.below(100),
+          static_cast<unsigned>(rng.below(g))});
+    }
+    const ReceiverId id = session.add_receiver(std::move(spec));
+    session.subscribe(id, src,
+                      std::make_unique<engine::BottleneckLink>(
+                          queues[i % queues_count], rng(),
+                          0.05 * rng.uniform()));
+  }
+
+  const auto reports = session.run();
+  ASSERT_EQ(reports.size(), receivers);
+  for (std::size_t i = 0; i < receivers; ++i) {
+    SCOPED_TRACE(::testing::Message() << "receiver " << i);
+    const auto& rep = reports[i];
+    EXPECT_TRUE(rep.completed);          // everyone eventually decodes
+    EXPECT_LE(rep.peak_level, g - 1);    // level never exceeds g-1 ...
+    EXPECT_LE(rep.final_level, g - 1);   // ... and never wraps negative
+    EXPECT_GE(rep.distinct, k);          // MDS: k distinct indices decode
+    EXPECT_GE(rep.received, rep.distinct);
+  }
+}
+
+TEST(AdaptationSoak, FuzzedPopulationsAlwaysDecodeAndStayInRange) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    run_fuzzed_scenario(0x50a4ULL * seed + seed);
+  }
+}
+
+TEST(AdaptationSoak, HomogeneousGroupConvergesToFairShare) {
+  const std::size_t k = 256;
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, k, k, 8);
+  proto::ProtocolConfig cfg;
+  cfg.layers = 4;
+  const auto server = std::make_shared<proto::FountainServer>(
+      cfg, code->encoded_count(), 0x5eed, code->codec_id());
+
+  const std::size_t receivers = 6;
+  const unsigned fair_level = 1;
+  const auto queue = std::make_shared<engine::SharedBottleneck>(
+      1.3 * static_cast<double>(receivers) *
+      server->subscribed_rate(fair_level));
+
+  const engine::Time horizon = 20000;
+  SessionConfig config;
+  config.horizon = horizon;
+  Session session(*code, config);
+  const SourceId src = session.add_source(server);
+  session.set_sink_factory(
+      [] { return std::make_unique<engine::NullSink>(); });
+
+  std::vector<cc::LevelTrace> trajectories(receivers);
+  util::Rng rng(29);
+  for (std::size_t i = 0; i < receivers; ++i) {
+    ReceiverSpec spec;
+    spec.join = rng.below(40);
+    spec.policy.seed = 0xfa1ULL + 31 * i;
+    spec.controller = std::make_unique<cc::TracingPolicy>(
+        std::make_unique<cc::LossDrivenPolicy>(cc::LossDrivenConfig{}),
+        spec.join, &trajectories[i]);
+    const ReceiverId id = session.add_receiver(std::move(spec));
+    session.subscribe(id, src,
+                      std::make_unique<engine::BottleneckLink>(queue, 3 + i));
+  }
+
+  const auto reports = session.run();
+  const engine::Time tail_begin = horizon - horizon / 4;
+  for (std::size_t i = 0; i < receivers; ++i) {
+    SCOPED_TRACE(::testing::Message() << "receiver " << i);
+    EXPECT_LE(reports[i].peak_level, 3u);
+    // Time within one layer of the fair share over the final quarter —
+    // the same dwell metric the fig7_adaptation CI gate uses.
+    EXPECT_GE(cc::fraction_near(trajectories[i], tail_begin, horizon,
+                                fair_level, 1),
+              0.90);
+  }
+}
+
+}  // namespace
+}  // namespace fountain

@@ -3,11 +3,14 @@
 // aggregation, codec quarantine, and loss-regime changes.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "carousel/carousel.hpp"
+#include "cc/policies.hpp"
 #include "core/tornado.hpp"
 #include "engine/session.hpp"
 #include "engine/sources.hpp"
@@ -337,6 +340,161 @@ TEST(SessionScale, GilbertElliottPopulationCompletes) {
   std::size_t completed = 0;
   for (const auto& report : session.run()) completed += report.completed;
   EXPECT_EQ(completed, population);
+}
+
+TEST(Links, SharedBottleneckCouplesSubscribers) {
+  engine::SharedBottleneck queue(10.0);
+  EXPECT_DOUBLE_EQ(queue.loss_probability(), 0.0);
+  const auto a = queue.attach();
+  const auto b = queue.attach();
+  queue.set_rate(a, 8.0);
+  EXPECT_DOUBLE_EQ(queue.loss_probability(), 0.0);  // within capacity
+  // A sibling joining pushes the aggregate past capacity: everyone's loss.
+  queue.set_rate(b, 8.0);
+  EXPECT_NEAR(queue.offered(), 16.0, 1e-12);
+  EXPECT_NEAR(queue.loss_probability(), 6.0 / 16.0, 1e-12);
+  queue.set_rate(b, 0.0);  // ...and its leave clears the queue again
+  EXPECT_DOUBLE_EQ(queue.loss_probability(), 0.0);
+
+  EXPECT_THROW(queue.set_rate(99, 1.0), std::out_of_range);
+  EXPECT_THROW(queue.set_rate(a, -1.0), std::invalid_argument);
+  EXPECT_THROW(engine::SharedBottleneck(0.0), std::invalid_argument);
+  EXPECT_THROW(engine::BottleneckLink(nullptr, 1), std::invalid_argument);
+}
+
+TEST(SessionValidation, BottleneckSpanningCohortsIsRejected) {
+  // Shared-bottleneck rate aggregation is only sound when all attached
+  // receivers are simulated concurrently; cohort_size 1 splits them.
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 20, 20, 8);
+  const auto order = carousel::Carousel::sequential(code->encoded_count());
+  SessionConfig config;
+  config.cohort_size = 1;
+  Session session(*code, config);
+  const SourceId src = session.add_source(
+      std::make_shared<CarouselSource>(order, code->codec_id()));
+  const auto queue = std::make_shared<engine::SharedBottleneck>(5.0);
+  for (int i = 0; i < 2; ++i) {
+    const ReceiverId id = session.add_receiver(ReceiverSpec{});
+    session.subscribe(id, src,
+                      std::make_unique<engine::BottleneckLink>(queue, 7 + i));
+  }
+  EXPECT_THROW(session.run(), std::invalid_argument);
+}
+
+namespace determinism {
+
+/// Serializes every delivery it sees and decodes structurally, so two runs
+/// can be compared event-for-event and decoder-state-for-decoder-state.
+class TraceSink final : public engine::PacketSink {
+ public:
+  explicit TraceSink(std::unique_ptr<fec::StructuralDecoder> decoder)
+      : decoder_(std::move(decoder)) {}
+
+  bool on_packet(const engine::Delivery& d) override {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%llu:%u:%u:%u:%d:%d;",
+                  static_cast<unsigned long long>(d.at), d.source, d.index,
+                  d.layer, d.sync_point ? 1 : 0, d.burst ? 1 : 0);
+    trace_ += buf;
+    return decoder_->add_index(d.index);
+  }
+  bool complete() const override { return decoder_->complete(); }
+  void reset() override {
+    trace_.clear();
+    decoder_->reset();
+  }
+
+  const std::string& trace() const { return trace_; }
+
+ private:
+  std::unique_ptr<fec::StructuralDecoder> decoder_;
+  std::string trace_;
+};
+
+struct Outcome {
+  std::vector<std::string> traces;
+  std::vector<ReceiverReport> reports;
+};
+
+/// A mixed adaptive population (loss-driven controllers, legacy burst-probe
+/// receivers, a scripted-move receiver) contending on one shared
+/// bottleneck. Everything is derived from fixed seeds.
+Outcome run_adaptive_scenario() {
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 60, 60, 8);
+  proto::ProtocolConfig cfg;
+  cfg.layers = 4;
+  const auto server = std::make_shared<proto::FountainServer>(
+      cfg, code->encoded_count(), 0x5eed, code->codec_id());
+
+  SessionConfig config;
+  config.horizon = 600;
+  Session session(*code, config);
+  const SourceId src = session.add_source(server);
+  // rate(level 0) = n / B = 15 pkt/round; six receivers fit at level 0 with
+  // 10% headroom, so high starting levels force congestion episodes.
+  const auto queue = std::make_shared<engine::SharedBottleneck>(99.0);
+
+  std::vector<TraceSink*> sinks;
+  for (std::size_t i = 0; i < 6; ++i) {
+    ReceiverSpec spec;
+    spec.join = 7 * i;
+    spec.policy.seed = 1000 + i;
+    if (i % 3 == 0) {
+      cc::LossDrivenConfig knobs;
+      knobs.window_rounds = 8;
+      knobs.initial_join_backoff = 8;
+      knobs.probe_rounds = 10;
+      spec.controller = std::make_unique<cc::LossDrivenPolicy>(knobs);
+    } else if (i % 3 == 1) {
+      spec.policy.adaptive = true;
+      spec.policy.initial_capacity = 2;
+      spec.policy.capacity_change_prob = 0.02;
+      spec.policy.congestion_extra_loss = 0.3;
+    } else {
+      spec.policy.initial_level = 3;  // over-subscribed joiner
+      spec.moves.push_back(engine::ScriptedMove{40 + 3 * i, 1});
+    }
+    spec.sink = std::make_unique<TraceSink>(code->make_structural_decoder());
+    sinks.push_back(static_cast<TraceSink*>(spec.sink.get()));
+    const ReceiverId id = session.add_receiver(std::move(spec));
+    session.subscribe(id, src,
+                      std::make_unique<engine::BottleneckLink>(
+                          queue, 0xabc + i, 0.01 * static_cast<double>(i)));
+  }
+
+  Outcome out;
+  out.reports = session.run();
+  for (TraceSink* sink : sinks) out.traces.push_back(sink->trace());
+  return out;
+}
+
+}  // namespace determinism
+
+TEST(SessionDeterminism, SeededAdaptiveScenarioReplaysByteIdentically) {
+  const auto first = determinism::run_adaptive_scenario();
+  const auto second = determinism::run_adaptive_scenario();
+
+  ASSERT_EQ(first.traces.size(), second.traces.size());
+  for (std::size_t i = 0; i < first.traces.size(); ++i) {
+    EXPECT_FALSE(first.traces[i].empty()) << i;
+    EXPECT_EQ(first.traces[i], second.traces[i]) << "receiver " << i;
+  }
+  ASSERT_EQ(first.reports.size(), second.reports.size());
+  for (std::size_t i = 0; i < first.reports.size(); ++i) {
+    const ReceiverReport& a = first.reports[i];
+    const ReceiverReport& b = second.reports[i];
+    EXPECT_TRUE(a.completed) << i;  // decoders reached their final state
+    EXPECT_EQ(a.completed, b.completed) << i;
+    EXPECT_EQ(a.completed_at, b.completed_at) << i;
+    EXPECT_EQ(a.addressed, b.addressed) << i;
+    EXPECT_EQ(a.received, b.received) << i;
+    EXPECT_EQ(a.distinct, b.distinct) << i;
+    EXPECT_EQ(a.lost, b.lost) << i;
+    EXPECT_EQ(a.rejected, b.rejected) << i;
+    EXPECT_EQ(a.level_changes, b.level_changes) << i;
+    EXPECT_EQ(a.final_level, b.final_level) << i;
+    EXPECT_EQ(a.peak_level, b.peak_level) << i;
+  }
 }
 
 TEST(SessionValidation, RejectsMalformedScenarios) {

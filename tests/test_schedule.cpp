@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "sched/layered_schedule.hpp"
 
@@ -52,55 +54,47 @@ TEST(Schedule, Figure7Round4Pattern) {
   EXPECT_EQ(s.layer_block_offsets(3, 3), (std::vector<unsigned>{4, 5, 6, 7}));
 }
 
-/// One Level Property: at any fixed subscription level, the receiver sees a
-/// permutation of the entire encoding before any packet repeats.
-class OneLevelProperty : public ::testing::TestWithParam<unsigned> {};
+/// The property sweep: every layer count g in 1..8 crossed with encoding
+/// lengths that exercise full blocks, single blocks, non-power-of-two
+/// lengths and short final blocks (n % B != 0).
+struct ScheduleCase {
+  unsigned g;
+  std::size_t n;
+};
 
-TEST_P(OneLevelProperty, HoldsForEveryLevel) {
-  const unsigned g = GetParam();
-  const std::size_t n = 8 * (std::size_t{1} << (g - 1));  // 8 full blocks
-  LayeredSchedule s(g, n);
-  for (unsigned level = 0; level < g; ++level) {
-    // Rounds needed for a full pass at this level: n / (level_rate * blocks).
-    const std::size_t per_round = s.level_rate(level) * s.block_count();
-    ASSERT_EQ(n % per_round, 0u);
-    const std::size_t rounds = n / per_round;
-    std::set<std::uint32_t> seen;
-    std::vector<std::uint32_t> packets;
-    for (std::uint64_t j = 0; j < rounds; ++j) {
-      for (unsigned l = 0; l <= level; ++l) {
-        packets.clear();
-        s.append_layer_packets(l, j, packets);
-        for (const auto p : packets) {
-          EXPECT_TRUE(seen.insert(p).second)
-              << "duplicate packet " << p << " at level " << level
-              << " round " << j << " (g=" << g << ")";
-        }
-      }
+std::vector<ScheduleCase> sweep_cases() {
+  std::vector<ScheduleCase> cases;
+  for (unsigned g = 1; g <= 8; ++g) {
+    const std::size_t B = std::size_t{1} << (g - 1);
+    std::set<std::size_t> lengths = {1, 13, 37, B, 8 * B};
+    if (B > 1) {
+      lengths.insert(B - 1);       // one short block only
+      lengths.insert(B + 1);       // one full + one nearly-empty block
+      lengths.insert(3 * B - 2);   // several blocks, short tail
+      lengths.insert(5 * B + 3);
     }
-    EXPECT_EQ(seen.size(), n) << "level " << level << " g=" << g;
+    for (const std::size_t n : lengths) cases.push_back(ScheduleCase{g, n});
   }
+  return cases;
 }
 
-INSTANTIATE_TEST_SUITE_P(Layers, OneLevelProperty,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+class SchedulePropertySweep : public ::testing::TestWithParam<ScheduleCase> {};
 
-/// The churn-relevant strengthening: the one-level distinctness guarantee
-/// holds from ANY starting round, not just round 0. A receiver that changes
-/// subscription level mid-cycle therefore re-enters the guarantee
-/// immediately — each full pass at its new level, measured from the round of
-/// the change, is a permutation of the entire encoding.
-class AnyPhaseOneLevelProperty : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(AnyPhaseOneLevelProperty, HoldsFromEveryStartingRound) {
-  const unsigned g = GetParam();
-  const std::size_t n = 8 * (std::size_t{1} << (g - 1));  // 8 full blocks
+/// One Level Property, generalized to any n and any phase: a receiver at
+/// fixed level L sees, within EVERY window of B / level_rate(L) consecutive
+/// rounds, each of the n encoding packets exactly once — full blocks are
+/// tiled completely and a short final block contributes exactly its
+/// existing packets (skipped offsets never cause a repeat).
+TEST_P(SchedulePropertySweep, OneLevelPropertyAtAnyPhase) {
+  const auto [g, n] = GetParam();
   LayeredSchedule s(g, n);
+  const std::size_t B = s.block_size();
   for (unsigned level = 0; level < g; ++level) {
-    const std::size_t per_round = s.level_rate(level) * s.block_count();
-    ASSERT_EQ(n % per_round, 0u);
-    const std::size_t window = n / per_round;  // rounds for one full pass
-    for (std::uint64_t phase = 0; phase < s.rounds_per_cycle(); ++phase) {
+    ASSERT_EQ(B % s.level_rate(level), 0u);
+    const std::size_t window = B / s.level_rate(level);
+    for (const std::uint64_t phase :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{5},
+          static_cast<std::uint64_t>(s.rounds_per_cycle() - 1)}) {
       std::set<std::uint32_t> seen;
       std::vector<std::uint32_t> packets;
       for (std::uint64_t j = phase; j < phase + window; ++j) {
@@ -108,57 +102,98 @@ TEST_P(AnyPhaseOneLevelProperty, HoldsFromEveryStartingRound) {
           packets.clear();
           s.append_layer_packets(l, j, packets);
           for (const auto p : packets) {
+            ASSERT_LT(p, n);
             EXPECT_TRUE(seen.insert(p).second)
                 << "duplicate " << p << " at level " << level << " phase "
-                << phase << " (g=" << g << ")";
+                << phase << " (g=" << g << ", n=" << n << ")";
           }
         }
       }
       EXPECT_EQ(seen.size(), n)
-          << "level " << level << " phase " << phase << " g=" << g;
+          << "level " << level << " phase " << phase << " g=" << g
+          << " n=" << n;
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Layers, AnyPhaseOneLevelProperty,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
-
-TEST(Schedule, EachLayerAloneCoversEverything) {
-  // The paper also notes each individual multicast layer carries a full
-  // permutation of the encoding before repeating.
-  const unsigned g = 4;
-  LayeredSchedule s(g, 64);
+/// Each individual multicast layer also carries a full permutation of the
+/// encoding: layer L repeats with period B / layer_rate(L) rounds, and any
+/// window of that many consecutive rounds covers all n packets exactly
+/// once, for every g and every (including non-power-of-two) n.
+TEST_P(SchedulePropertySweep, EachLayerAloneIsAFullPermutation) {
+  const auto [g, n] = GetParam();
+  LayeredSchedule s(g, n);
+  const std::size_t B = s.block_size();
   for (unsigned layer = 0; layer < g; ++layer) {
-    const std::size_t per_round = s.layer_rate(layer) * s.block_count();
-    const std::size_t rounds = 64 / per_round;
-    std::set<std::uint32_t> seen;
-    std::vector<std::uint32_t> packets;
-    for (std::uint64_t j = 0; j < rounds; ++j) {
-      packets.clear();
-      s.append_layer_packets(layer, j, packets);
-      for (const auto p : packets) EXPECT_TRUE(seen.insert(p).second);
+    ASSERT_EQ(B % s.layer_rate(layer), 0u);
+    const std::size_t window = B / s.layer_rate(layer);
+    for (const std::uint64_t phase :
+         {std::uint64_t{0}, std::uint64_t{3},
+          static_cast<std::uint64_t>(s.rounds_per_cycle())}) {
+      std::set<std::uint32_t> seen;
+      std::vector<std::uint32_t> packets;
+      for (std::uint64_t j = phase; j < phase + window; ++j) {
+        packets.clear();
+        s.append_layer_packets(layer, j, packets);
+        for (const auto p : packets) {
+          ASSERT_LT(p, n);
+          EXPECT_TRUE(seen.insert(p).second)
+              << "duplicate " << p << " on layer " << layer << " phase "
+              << phase << " (g=" << g << ", n=" << n << ")";
+        }
+      }
+      EXPECT_EQ(seen.size(), n)
+          << "layer " << layer << " phase " << phase << " g=" << g
+          << " n=" << n;
     }
-    EXPECT_EQ(seen.size(), 64u) << "layer " << layer;
   }
 }
 
-TEST(Schedule, PartialFinalBlockIsSkippedCleanly) {
-  // n = 13 with B = 8: final block has 5 packets; offsets 5..7 are skipped.
+INSTANTIATE_TEST_SUITE_P(AllLayerCounts, SchedulePropertySweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           return "g" + std::to_string(info.param.g) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(Schedule, PartialFinalBlockSkipsOffsetsPastTheEnd) {
+  // Regression pin for the documented append_layer_packets contract: a
+  // short final block contributes only its existing packets — per-block
+  // offsets >= n % B are dropped silently, never wrapped or clamped. With
+  // n = 13, B = 8 the final block holds offsets 0..4 at indices 8..12.
   LayeredSchedule s(4, 13);
   EXPECT_EQ(s.block_count(), 2u);
-  std::set<std::uint32_t> seen;
+
+  // Round 1, layer 3 sends offsets {4,5,6,7} (Table 5): block 0 delivers
+  // all four, block 1 only 8+4 = 12 — offsets 5..7 fall past index 13.
   std::vector<std::uint32_t> packets;
+  s.append_layer_packets(3, 1, packets);
+  EXPECT_EQ(packets, (std::vector<std::uint32_t>{4, 5, 6, 7, 12}));
+
+  // Round 0, layer 2 sends offsets {4,5}: block 1 delivers only 12.
+  packets.clear();
+  s.append_layer_packets(2, 0, packets);
+  EXPECT_EQ(packets, (std::vector<std::uint32_t>{4, 5, 12}));
+
+  // Whole-round accounting: every round's emission equals the full-block
+  // offsets replicated per block with out-of-range final-block offsets
+  // dropped, so per-round counts may undershoot layer_rate * block_count.
   for (std::uint64_t j = 0; j < 8; ++j) {
     for (unsigned l = 0; l < 4; ++l) {
+      const auto offsets = s.layer_block_offsets(l, j);
+      std::vector<std::uint32_t> expected;
+      for (std::size_t b = 0; b < 2; ++b) {
+        for (const unsigned off : offsets) {
+          if (b * 8 + off < 13) {
+            expected.push_back(static_cast<std::uint32_t>(b * 8 + off));
+          }
+        }
+      }
       packets.clear();
       s.append_layer_packets(l, j, packets);
-      for (const auto p : packets) {
-        ASSERT_LT(p, 13u);
-        seen.insert(p);
-      }
+      EXPECT_EQ(packets, expected) << "layer " << l << " round " << j;
     }
   }
-  EXPECT_EQ(seen.size(), 13u);
 }
 
 TEST(Schedule, SingleLayerDegeneratesToSequentialBlocks) {
