@@ -12,6 +12,14 @@
 // goodput summaries, and exits non-zero if any group fails to converge to
 // within one layer of its fair share and hold it — making the CI quick run
 // a regression gate on the adaptation plane.
+//
+// The convergence gate runs the scenario twice: once at threads=1 (the
+// golden sequential pass all numbers are reported from) and once at
+// threads=2 with cohort_size=8, which places the two bottleneck groups in
+// separate cohorts simulated by different workers. Every report field and
+// every merged cc trace record must be identical across the passes, so the
+// bench also gates the parallel engine's determinism on a congestion-coupled
+// scenario.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -35,8 +43,71 @@ struct Group {
   unsigned fair_level;   // highest level the group can share fairly
   double headroom;       // capacity = headroom * receivers * rate(fair_level)
   std::size_t first_rx = 0;
-  std::shared_ptr<engine::SharedBottleneck> queue;
+  double capacity = 0;
 };
+
+struct ScenarioRun {
+  std::vector<engine::ReceiverReport> reports;
+  cc::TraceLog log;
+  explicit ScenarioRun(std::size_t receivers) : log(receivers) {}
+};
+
+/// Builds the two-group scenario from scratch (fresh queues, identical
+/// seeded population) and runs it under the given engine sharding. Pure in
+/// (threads, cohort_size) by construction: every random draw comes from
+/// Rng(41) in receiver order.
+ScenarioRun run_scenario(const fec::ErasureCode& code,
+                         const std::shared_ptr<proto::FountainServer>& server,
+                         std::vector<Group>& groups, engine::Time horizon,
+                         std::size_t threads, std::size_t cohort_size) {
+  engine::SessionConfig session_cfg;
+  session_cfg.horizon = horizon;
+  session_cfg.threads = threads;
+  session_cfg.cohort_size = cohort_size;
+  engine::Session session(code, session_cfg);
+  const engine::SourceId src = session.add_source(server);
+  session.set_sink_factory([] { return std::make_unique<engine::NullSink>(); });
+
+  std::size_t total_rx = 0;
+  for (const Group& g : groups) total_rx += g.receivers;
+  ScenarioRun run(total_rx);
+
+  util::Rng rng(41);
+  std::size_t rx = 0;
+  for (Group& g : groups) {
+    const double fair_rate = server->subscribed_rate(g.fair_level);
+    g.capacity = g.headroom * static_cast<double>(g.receivers) * fair_rate;
+    const auto queue = std::make_shared<engine::SharedBottleneck>(g.capacity);
+    g.first_rx = rx;
+    for (std::size_t i = 0; i < g.receivers; ++i, ++rx) {
+      engine::ReceiverSpec spec;
+      spec.join = rng.below(64);  // staggered session entry
+      spec.policy.initial_level = 0;
+      spec.policy.seed = 0xf167ULL + 77 * rx;
+      spec.controller = run.log.wrap(
+          rx, spec.join,
+          std::make_unique<cc::LossDrivenPolicy>(cc::LossDrivenConfig{}));
+      const engine::ReceiverId id = session.add_receiver(std::move(spec));
+      // Heterogeneous private tails on top of the shared queue.
+      const double base_loss = 0.01 * rng.uniform();
+      session.subscribe(id, src,
+                        std::make_unique<engine::BottleneckLink>(
+                            queue, 0xb077ULL + 131 * rx, base_loss));
+    }
+  }
+
+  run.reports = session.run();
+  return run;
+}
+
+bool same_report(const engine::ReceiverReport& a,
+                 const engine::ReceiverReport& b) {
+  return a.completed == b.completed && a.completed_at == b.completed_at &&
+         a.addressed == b.addressed && a.received == b.received &&
+         a.distinct == b.distinct && a.lost == b.lost &&
+         a.rejected == b.rejected && a.level_changes == b.level_changes &&
+         a.final_level == b.final_level && a.peak_level == b.peak_level;
+}
 
 }  // namespace
 
@@ -59,51 +130,29 @@ int main() {
       cfg, *code, 0x5eed);
 
   std::vector<Group> groups = {
-      {"narrow", 8, 1, 1.30, 0, nullptr},
-      {"wide", 8, 2, 1.30, 0, nullptr},
+      {"narrow", 8, 1, 1.30, 0, 0},
+      {"wide", 8, 2, 1.30, 0, 0},
   };
-
-  engine::SessionConfig session_cfg;
-  session_cfg.horizon = horizon;
-  engine::Session session(*code, session_cfg);
-  const engine::SourceId src = session.add_source(server);
-  session.set_sink_factory([] { return std::make_unique<engine::NullSink>(); });
 
   std::printf("Figure 7 adaptation: loss-driven receivers on shared "
               "bottlenecks (k = %zu, n = %zu, %llu ticks)\n\n",
               k, code->encoded_count(),
               static_cast<unsigned long long>(horizon));
 
-  std::size_t total_rx = 0;
-  for (const Group& g : groups) total_rx += g.receivers;
-  std::vector<cc::LevelTrace> trajectories(total_rx);
+  // Golden sequential pass: every reported number comes from this run.
+  const ScenarioRun golden =
+      run_scenario(*code, server, groups, horizon, 1, 1024);
+  // Parallel replay: cohort_size=8 puts each group in its own cohort, so
+  // two workers carry one congestion-coupled group each.
+  const ScenarioRun parallel =
+      run_scenario(*code, server, groups, horizon, 2, 8);
 
-  util::Rng rng(41);
-  std::size_t rx = 0;
-  for (Group& g : groups) {
-    const double fair_rate = server->subscribed_rate(g.fair_level);
-    const double capacity =
-        g.headroom * static_cast<double>(g.receivers) * fair_rate;
-    g.queue = std::make_shared<engine::SharedBottleneck>(capacity);
-    g.first_rx = rx;
-    for (std::size_t i = 0; i < g.receivers; ++i, ++rx) {
-      engine::ReceiverSpec spec;
-      spec.join = rng.below(64);  // staggered session entry
-      spec.policy.initial_level = 0;
-      spec.policy.seed = 0xf167ULL + 77 * rx;
-      spec.controller = std::make_unique<cc::TracingPolicy>(
-          std::make_unique<cc::LossDrivenPolicy>(cc::LossDrivenConfig{}),
-          spec.join, &trajectories[rx]);
-      const engine::ReceiverId id = session.add_receiver(std::move(spec));
-      // Heterogeneous private tails on top of the shared queue.
-      const double base_loss = 0.01 * rng.uniform();
-      session.subscribe(id, src,
-                        std::make_unique<engine::BottleneckLink>(
-                            g.queue, 0xb077ULL + 131 * rx, base_loss));
-    }
+  bool threads_equal = golden.reports.size() == parallel.reports.size();
+  for (std::size_t r = 0; threads_equal && r < golden.reports.size(); ++r) {
+    threads_equal = same_report(golden.reports[r], parallel.reports[r]);
   }
-
-  const auto reports = session.run();
+  threads_equal = threads_equal && golden.log.records() ==
+                                       parallel.log.records();
 
   std::vector<bench::JsonRecord> records;
   const engine::Time tail_begin = horizon - horizon / 4;
@@ -113,7 +162,7 @@ int main() {
     const double fair_rate = server->subscribed_rate(g.fair_level);
     std::printf("group %-7s capacity %.0f pkt/tick, fair share = level %u "
                 "(%.0f pkt/tick per receiver)\n",
-                g.name, g.queue->capacity(), g.fair_level, fair_rate);
+                g.name, g.capacity, g.fair_level, fair_rate);
     std::printf("  %-4s %6s %7s %7s %10s %12s %12s\n", "rx", "join", "moves",
                 "final", "near-fair", "goodput", "(fair rate)");
 
@@ -121,8 +170,8 @@ int main() {
     double goodput_sum = 0.0;
     for (std::size_t i = 0; i < g.receivers; ++i) {
       const std::size_t r = g.first_rx + i;
-      const auto& rep = reports[r];
-      const auto& traj = trajectories[r];
+      const auto& rep = golden.reports[r];
+      const auto& traj = golden.log.trace(r);
       const double near =
           cc::fraction_near(traj, tail_begin, horizon, g.fair_level, 1);
       group_near = std::min(group_near, near);
@@ -157,7 +206,7 @@ int main() {
     std::printf("  -> %s (worst near-fair dwell %.0f%%, aggregate goodput "
                 "%.0f of %.0f pkt/tick)\n\n",
                 converged ? "converged" : "NOT CONVERGED", 100.0 * group_near,
-                goodput_sum, g.queue->capacity());
+                goodput_sum, g.capacity);
 
     bench::JsonRecord conv;
     conv.bench = "fig7_adaptation";
@@ -170,11 +219,25 @@ int main() {
     gp.name = std::string("goodput_mean/") + g.name;
     gp.kernel = "loss_driven";
     gp.symbols_per_s = goodput_sum / static_cast<double>(g.receivers);
-    gp.value = goodput_sum / g.queue->capacity();  // capacity utilization
+    gp.value = goodput_sum / g.capacity;  // capacity utilization
     records.push_back(gp);
   }
 
+  bench::JsonRecord eq;
+  eq.bench = "fig7_adaptation";
+  eq.name = "threads_equivalence";  // threads=2/cohort=8 replay == golden
+  eq.kernel = "loss_driven";
+  eq.value = threads_equal ? 1.0 : 0.0;
+  records.push_back(eq);
+
   bench::append_json(records);
+  if (!threads_equal) {
+    std::fprintf(stderr,
+                 "fig7_adaptation: threads=2 replay DIVERGED from the "
+                 "sequential run\n");
+    return 1;
+  }
+  std::printf("threads=2 replay byte-identical to the sequential run\n");
   if (!all_converged) {
     std::fprintf(stderr, "fig7_adaptation: convergence gate FAILED\n");
     return 1;

@@ -105,6 +105,8 @@ int main(int argc, char** argv) {
 
   engine::SessionConfig config;
   config.horizon = ticks(60000.0);  // one simulated minute is ample
+  // One receiver = one cohort: SessionConfig::threads (auto here) has
+  // nothing to shard, so the session runs on the calling thread.
   engine::Session session(code, config);
 
   engine::ReceiverSpec spec;

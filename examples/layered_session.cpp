@@ -11,7 +11,10 @@
 // Receivers join the session asynchronously (a third of them tune in
 // mid-transfer), which the old lockstep round loop could not express.
 //
-//   $ ./layered_session [receivers] [max_rounds]
+//   $ ./layered_session [receivers] [max_rounds] [threads]
+//
+// `threads` is forwarded to the engine (0 = one worker per hardware
+// thread); the printed table is byte-identical at every thread count.
 //
 // Prints one line per receiver: policy, observed loss, subscription moves,
 // final level, and the efficiency metrics of Section 7.3 (eta = eta_c *
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
 
   const std::size_t receivers = argc > 1 ? std::atoi(argv[1]) : 12;
   const std::uint64_t max_rounds = argc > 2 ? std::atoll(argv[2]) : 2000000;
+  const std::size_t threads = argc > 3 ? std::atoi(argv[3]) : 0;
 
   // The paper's prototype encoding: ~2 MB -> 8264 packets of 500 bytes.
   // Described purely by registry parameters — exactly what a server would
@@ -82,7 +86,7 @@ int main(int argc, char** argv) {
   const auto code = fec::CodecRegistry::builtin().create(
       fec::CodecId::kTornado, params);
   const auto result = proto::run_session(*code, cfg, clients, bottlenecks, 3,
-                                         max_rounds);
+                                         max_rounds, threads);
 
   std::printf("%-4s %-11s %6s %9s %7s %6s %8s %8s %8s %10s\n", "rx", "policy",
               "join", "loss(%)", "moves", "level", "eta_d", "eta_c", "eta",

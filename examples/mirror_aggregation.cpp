@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
 
   engine::SessionConfig config;
   config.horizon = 400ull * code.encoded_count();
+  // One receiver = one cohort: SessionConfig::threads (auto here) has
+  // nothing to shard, so the session runs on the calling thread.
   engine::Session session(code, config);
 
   engine::ReceiverSpec spec;

@@ -4,7 +4,7 @@
 // like, suffer their own loss rates, grab packets until they can
 // reconstruct, and leave.
 //
-//   $ ./software_update [clients] [size_kb]
+//   $ ./software_update [clients] [size_kb] [threads]
 //
 // One engine session: every client is a receiver with its own join phase and
 // link — most on clean links, every tenth behind a bursty Gilbert-Elliott
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
   const std::size_t clients = argc > 1 ? std::atoi(argv[1]) : 200;
   const std::size_t size_kb = argc > 2 ? std::atoi(argv[2]) : 2048;
+  const std::size_t threads = argc > 3 ? std::atoi(argv[3]) : 0;
   const std::size_t k = size_kb;  // 1 KB packets
   const std::size_t packet_bytes = 1024;
 
@@ -46,6 +47,12 @@ int main(int argc, char** argv) {
 
   engine::SessionConfig config;
   config.horizon = 200ull * carousel.cycle_length();
+  config.threads = threads;  // 0 = one worker per hardware thread
+  if (threads > 1) {
+    // Cohorts are the shard unit: split the population so every worker
+    // carries at least one cohort. Results are identical either way.
+    config.cohort_size = (clients + threads) / threads;
+  }
   engine::Session session(code, config);
   const engine::SourceId src = session.add_source(
       std::make_shared<engine::CarouselSource>(carousel, code.codec_id()));

@@ -1,8 +1,10 @@
 // Trajectory instrumentation for the adaptation plane: a decorator that
-// logs every level change a policy makes, plus the time-weighted dwell
-// metric the convergence checks are written in. Shared by the
-// fig7_adaptation bench (the CI convergence gate) and the adaptation soak
-// tests so both judge convergence by exactly the same computation.
+// logs every level change a policy makes, a session-wide TraceLog whose
+// per-receiver buffers are safe to fill from parallel cohort workers, and
+// the time-weighted dwell metric the convergence checks are written in.
+// Shared by the fig7_adaptation bench (the CI convergence gate) and the
+// adaptation soak tests so both judge convergence by exactly the same
+// computation.
 #pragma once
 
 #include <algorithm>
@@ -53,6 +55,71 @@ class TracingPolicy final : public ReceiverPolicy {
   std::unique_ptr<ReceiverPolicy> inner_;
   engine::Time join_;
   LevelTrace* out_;
+};
+
+/// Session-wide trajectory collector built for the parallel engine. One
+/// LevelTrace slot per receiver, allocated up front, so cohort workers on
+/// different threads append to disjoint buffers with no synchronization
+/// (each receiver is simulated by exactly one worker). records() then
+/// performs the deterministic in-order merge — every level change tagged
+/// with its receiver, ordered by (tick, receiver) — so the merged stream is
+/// byte-identical regardless of engine::SessionConfig::threads and of how
+/// cohorts were assigned to workers.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t receivers) : traces_(receivers) {}
+
+  std::size_t size() const { return traces_.size(); }
+  LevelTrace& trace(std::size_t receiver) { return traces_.at(receiver); }
+  const LevelTrace& trace(std::size_t receiver) const {
+    return traces_.at(receiver);
+  }
+
+  /// Wraps `inner` so receiver `receiver`'s decisions land in its slot (see
+  /// TracingPolicy for the join-stamp semantics). The log must outlive the
+  /// returned policy.
+  std::unique_ptr<ReceiverPolicy> wrap(std::size_t receiver,
+                                       engine::Time join,
+                                       std::unique_ptr<ReceiverPolicy> inner) {
+    return std::make_unique<TracingPolicy>(std::move(inner), join,
+                                           &traces_.at(receiver));
+  }
+
+  /// One merged cc trace record: receiver `receiver` moved to `level` at
+  /// tick `at`.
+  struct Record {
+    engine::Time at = 0;
+    std::uint32_t receiver = 0;
+    unsigned level = 0;
+
+    friend bool operator==(const Record&, const Record&) = default;
+  };
+
+  /// The deterministic merge of all per-receiver trajectories, ordered by
+  /// (at, receiver). Stable across thread counts by construction: the
+  /// per-receiver buffers are already time-ordered, and the receiver index
+  /// breaks every tie.
+  std::vector<Record> records() const {
+    std::vector<Record> merged;
+    std::size_t total = 0;
+    for (const LevelTrace& t : traces_) total += t.size();
+    merged.reserve(total);
+    for (std::size_t r = 0; r < traces_.size(); ++r) {
+      for (const LevelChange& change : traces_[r]) {
+        merged.push_back(Record{change.at, static_cast<std::uint32_t>(r),
+                                change.level});
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Record& lhs, const Record& rhs) {
+                       if (lhs.at != rhs.at) return lhs.at < rhs.at;
+                       return lhs.receiver < rhs.receiver;
+                     });
+    return merged;
+  }
+
+ private:
+  std::vector<LevelTrace> traces_;
 };
 
 /// Time-weighted fraction of [begin, end) the trajectory spends within

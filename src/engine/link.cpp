@@ -36,6 +36,9 @@ std::uint32_t SharedBottleneck::attach() {
   return static_cast<std::uint32_t>(rates_.size() - 1);
 }
 
+// Called only from the one cohort (hence one worker) owning the attached
+// receivers — see the threading contract in link.hpp — so plain doubles
+// suffice even under SessionConfig::threads > 1.
 void SharedBottleneck::set_rate(std::uint32_t slot, double packets_per_tick) {
   if (slot >= rates_.size()) {
     throw std::out_of_range("SharedBottleneck: unknown slot");

@@ -8,6 +8,15 @@
 // capacity into queueing loss, so one receiver joining a layer raises the
 // loss its siblings observe — the coupling that makes receiver-driven
 // congestion control meaningful (see src/cc/).
+//
+// Threading contract. A LinkModel is owned by exactly one subscription and
+// is only ever touched by the cohort simulating its receiver, so under the
+// parallel engine (SessionConfig::threads) private links need no
+// synchronization. Shared state is shard-local by construction: all
+// receivers attached to one SharedBottleneck must sit in the same cohort
+// (Session::run validates this before sharding), so a bottleneck's mutable
+// rate table is only ever accessed by the one worker running that cohort —
+// no locks, and identical arithmetic at every thread count.
 #pragma once
 
 #include <cstdint>
@@ -79,8 +88,10 @@ class LossLink final : public LinkModel {
 /// Create one per bottleneck, attach each subscription through a
 /// BottleneckLink, and let the engine keep the rates current. All receivers
 /// attached to one bottleneck must run in the same engine cohort
-/// (Session::run validates this); rates return to zero as members finish,
-/// so the object is clean for reuse by construction.
+/// (Session::run validates this), which also makes the object shard-local
+/// under the parallel engine: exactly one worker thread ever mutates it.
+/// Rates return to zero as members finish, so the object is clean for
+/// reuse by construction.
 class SharedBottleneck {
  public:
   /// Throws std::invalid_argument unless capacity > 0.

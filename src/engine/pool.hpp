@@ -1,0 +1,40 @@
+// The worker pool behind the parallel session engine. Cohorts are the shard
+// unit: PR 5's rule that a SharedBottleneck may not span cohorts means every
+// cohort's congestion state, link RNG streams, policy state and pooled sinks
+// are self-contained, so whole cohorts can run on different threads with no
+// synchronization on the simulation path. CohortPool::run distributes cohort
+// indices to workers and blocks until all are done; because each cohort
+// writes only its own receivers' reports (a deterministic in-order merge by
+// receiver index), the output is byte-identical at every worker count and
+// under any assignment of cohorts to workers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fountain::engine {
+
+/// The normalization rule for SessionConfig::threads, shared by the engine,
+/// the benches and the tests that pin it: 0 ("auto") resolves to
+/// std::thread::hardware_concurrency(), and any result is clamped to at
+/// least 1 (hardware_concurrency may legally report 0).
+std::size_t resolve_threads(std::size_t requested);
+
+class CohortPool {
+ public:
+  /// Runs task(worker, index) for every index in [0, count), on
+  /// min(threads, count) workers. Indices are claimed dynamically (an atomic
+  /// cursor), so heterogeneous per-cohort costs balance; tasks must confine
+  /// themselves to worker-local state plus state partitioned by index, which
+  /// is what makes the schedule-independence deterministic.
+  ///
+  /// threads <= 1 (or count <= 1) runs every index in ascending order on the
+  /// calling thread — the exact sequential path, no threads spawned. The
+  /// first exception thrown by any task is rethrown on the caller after all
+  /// workers have stopped; remaining unclaimed indices are abandoned.
+  static void run(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t worker,
+                                           std::size_t index)>& task);
+};
+
+}  // namespace fountain::engine

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "cc/policies.hpp"
+#include "engine/pool.hpp"
 
 namespace fountain::engine {
 
@@ -122,6 +123,13 @@ void Session::set_sink_factory(SinkFactory factory) {
   if (ran_) throw std::logic_error("Session: already run");
   if (!factory) throw std::invalid_argument("Session: null sink factory");
   sink_factory_ = std::move(factory);
+}
+
+std::unique_ptr<PacketSink> Session::make_pooled_sink() {
+  // Serialized so user factories (and codec decoder constructors) never run
+  // concurrently; at most one call per (worker, slot), so contention is nil.
+  const std::lock_guard<std::mutex> lock(sink_factory_mutex_);
+  return sink_factory_();
 }
 
 // Simulates one cohort of receivers [first, first + count) against the
@@ -244,7 +252,7 @@ void Session::CohortRunner::join_member(std::size_t m, Time) {
 
   Slot& slot = slots_[m];
   if (!spec.sink) {
-    if (!slot.sink) slot.sink = s_.sink_factory_();
+    if (!slot.sink) slot.sink = s_.make_pooled_sink();
     slot.sink->reset();
   }
   slot.seen.assign(s_.code_.encoded_count(), 0);
@@ -423,7 +431,9 @@ void Session::CohortRunner::run() {
 std::vector<ReceiverReport> Session::run() {
   if (ran_) throw std::logic_error("Session: already run");
   // Shared link state (bottlenecks) aggregates rates across receivers, so
-  // every receiver touching one must be simulated in the same cohort.
+  // every receiver touching one must be simulated in the same cohort. This
+  // is validated before any sharding, so the scenario is rejected with the
+  // same error at every thread count.
   std::unordered_map<const void*, std::pair<std::size_t, std::size_t>> shared;
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
     for (const Subscription& sub : receivers_[i].subs) {
@@ -442,13 +452,26 @@ std::vector<ReceiverReport> Session::run() {
   }
   ran_ = true;
   std::vector<ReceiverReport> reports(receivers_.size());
-  std::vector<Slot> slots(std::min(config_.cohort_size, receivers_.size()));
-  for (std::size_t first = 0; first < receivers_.size();
-       first += config_.cohort_size) {
+  const std::size_t cohorts =
+      (receivers_.size() + config_.cohort_size - 1) / config_.cohort_size;
+  const std::size_t workers =
+      std::min(resolve_threads(config_.threads), std::max<std::size_t>(
+                                                     cohorts, 1));
+  // One slot pool per worker (sized lazily on first use): a cohort's pooled
+  // sinks and distinct bitmaps are worker-local, so the simulation path
+  // takes no locks. Every cohort writes only reports [first, first+count) —
+  // disjoint slices — which is the deterministic in-order merge.
+  const std::size_t slots_per_pool =
+      std::min(config_.cohort_size, receivers_.size());
+  std::vector<std::vector<Slot>> pools(std::max<std::size_t>(workers, 1));
+  CohortPool::run(workers, cohorts, [&](std::size_t worker, std::size_t c) {
+    std::vector<Slot>& slots = pools[worker];
+    if (slots.size() < slots_per_pool) slots.resize(slots_per_pool);
+    const std::size_t first = c * config_.cohort_size;
     const std::size_t count =
         std::min(config_.cohort_size, receivers_.size() - first);
     CohortRunner(*this, reports, slots, first, count).run();
-  }
+  });
   return reports;
 }
 

@@ -15,8 +15,20 @@
 // receivers in other cohorts cost nothing while a cohort runs. Decoder state
 // and distinct-packet bitmaps live in per-slot pools reset between cohorts —
 // memory is O(cohort_size * decoder), not O(population * decoder) — which is
-// what lets one run carry >= 100k structural receivers. The hot path (one
+// what lets one run carry >= 1M structural receivers. The hot path (one
 // delivered packet) performs no allocation.
+//
+// Parallel model. Cohorts are also the shard unit of the multi-threaded run
+// (SessionConfig::threads): every receiver's RNG streams (link draws,
+// adaptation draws) are pre-split — seeded per receiver/per link at
+// construction, never drawn from a session-global generator — and shared
+// congestion state (SharedBottleneck) may not span cohorts, so each worker
+// simulates whole cohorts against the immutable sources with its own slot
+// pool and no locks on the simulation path. Reports, per-receiver delivery
+// traces (private sinks) and cc trace records land in per-receiver slots
+// allocated up front, which is the deterministic in-order merge: run()
+// output is byte-identical at every thread count, and threads = 1 is
+// exactly the historical sequential path.
 //
 // Adaptation plane. Receivers manage their own subscription level through a
 // cc::ReceiverPolicy evaluated on the event heap: after every firing a
@@ -35,6 +47,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cc/receiver_policy.hpp"
@@ -142,6 +155,13 @@ struct SessionConfig {
   Time horizon = 4'000'000;
   /// Receivers simulated concurrently; bounds pooled decoder memory.
   std::size_t cohort_size = 1024;
+  /// Worker threads for run(). 0 = auto (engine::resolve_threads: one per
+  /// hardware thread); 1 preserves the exact historical sequential path.
+  /// Cohorts are the shard unit — each worker runs whole cohorts with its
+  /// own slot pool, so peak pooled-sink memory is
+  /// O(min(threads, cohorts) * cohort_size * sink). Output (reports,
+  /// delivery traces, cc traces) is byte-identical at every thread count.
+  std::size_t threads = 0;
 };
 
 class Session {
@@ -173,7 +193,11 @@ class Session {
                  std::unique_ptr<LinkModel> link);
 
   /// Replaces the pooled-sink factory (default: structural decoders from the
-  /// session code). Called once per cohort slot, not per receiver.
+  /// session code). Called at most once per (worker, cohort slot), not per
+  /// receiver; calls are serialized under a session mutex, so the factory
+  /// itself need not be thread-safe even when threads > 1 (the sinks it
+  /// returns are still used concurrently from different workers — distinct
+  /// sink objects, one per slot, never shared across workers).
   using SinkFactory = std::function<std::unique_ptr<PacketSink>()>;
   void set_sink_factory(SinkFactory factory);
 
@@ -209,12 +233,16 @@ class Session {
   /// Shared constructor tail: config validation + default sink factory.
   void init_defaults();
 
+  /// Serialized front door to sink_factory_ (see set_sink_factory).
+  std::unique_ptr<PacketSink> make_pooled_sink();
+
   // Registry-constructed sessions own their code; declared before code_ so
   // the reference can bind to it in the constructor initializer list.
   std::unique_ptr<const fec::ErasureCode> owned_code_;
   const fec::ErasureCode& code_;
   SessionConfig config_;
   SinkFactory sink_factory_;
+  std::mutex sink_factory_mutex_;
   std::vector<SourceState> sources_;
   std::vector<ReceiverState> receivers_;
   bool ran_ = false;

@@ -25,25 +25,29 @@ engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
 SessionResult run_session(fec::CodecId codec, const fec::CodecParams& params,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
-                          std::uint64_t seed, std::uint64_t max_rounds) {
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads) {
   const auto code = fec::CodecRegistry::builtin().create(codec, params);
-  return run_session(*code, proto, clients, seed, max_rounds);
+  return run_session(*code, proto, clients, seed, max_rounds, threads);
 }
 
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
-                          std::uint64_t seed, std::uint64_t max_rounds) {
-  return run_session(code, proto, clients, {}, seed, max_rounds);
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads) {
+  return run_session(code, proto, clients, {}, seed, max_rounds, threads);
 }
 
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
                           const std::vector<BottleneckSpec>& bottlenecks,
-                          std::uint64_t seed, std::uint64_t max_rounds) {
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads) {
   engine::SessionConfig engine_config;
   engine_config.horizon = max_rounds;
+  engine_config.threads = threads;
   engine::Session session(code, engine_config);
   const auto server = std::make_shared<FountainServer>(proto, code, 0x5eed);
   const engine::SourceId source = session.add_source(server);

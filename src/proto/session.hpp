@@ -72,21 +72,27 @@ engine::SubscriptionPolicy make_policy(const SimClientConfig& client,
 
 /// Runs a session until every receiver completes (or `max_rounds` elapse).
 /// One receiver per entry of `clients`; receiver i's channel and adaptation
-/// streams derive from seed + i deterministically.
+/// streams derive from seed + i deterministically. `threads` is forwarded
+/// to engine::SessionConfig::threads (0 = one worker per hardware thread);
+/// results are byte-identical at every thread count.
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
-                          std::uint64_t seed, std::uint64_t max_rounds);
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads = 0);
 
 /// As above with shared bottlenecks: clients whose `bottleneck` index is
 /// >= 0 share the corresponding BottleneckSpec queue, so their levels
 /// couple through queueing loss. Throws std::out_of_range on a client
-/// naming a bottleneck the list does not have.
+/// naming a bottleneck the list does not have. Receivers sharing a queue
+/// must fit in one engine cohort (the engine rejects the scenario
+/// otherwise, at any thread count).
 SessionResult run_session(const fec::ErasureCode& code,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
                           const std::vector<BottleneckSpec>& bottlenecks,
-                          std::uint64_t seed, std::uint64_t max_rounds);
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads = 0);
 
 /// As above, but the code is instantiated from advertised wire/control
 /// fields via the built-in fec::CodecRegistry — the form a real deployment
@@ -95,6 +101,7 @@ SessionResult run_session(const fec::ErasureCode& code,
 SessionResult run_session(fec::CodecId codec, const fec::CodecParams& params,
                           const ProtocolConfig& proto,
                           const std::vector<SimClientConfig>& clients,
-                          std::uint64_t seed, std::uint64_t max_rounds);
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads = 0);
 
 }  // namespace fountain::proto

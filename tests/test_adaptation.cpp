@@ -9,6 +9,12 @@
 // fig7_adaptation bench gates on: a homogeneous loss-driven group behind
 // one bottleneck settles within one layer of its fair-share level and
 // holds it.
+//
+// A third, property/fuzz sweep targets the parallel engine: seeded random
+// scenarios over population size, cohort_size (deliberately never dividing
+// the population evenly), cohort-aligned bottleneck groupings, and churn
+// must produce identical reports and merged cc trace records at threads = 1
+// and threads = N — the fuzzed twin of test_engine's equivalence matrix.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,6 +25,7 @@
 #include "cc/trace.hpp"
 #include "engine/session.hpp"
 #include "fec/reed_solomon.hpp"
+#include "net/loss.hpp"
 #include "proto/server.hpp"
 #include "util/random.hpp"
 
@@ -143,6 +150,157 @@ void run_fuzzed_scenario(std::uint64_t master_seed) {
 TEST(AdaptationSoak, FuzzedPopulationsAlwaysDecodeAndStayInRange) {
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     run_fuzzed_scenario(0x50a4ULL * seed + seed);
+  }
+}
+
+struct EquivalenceOutcome {
+  std::vector<engine::ReceiverReport> reports;
+  std::vector<cc::TraceLog::Record> cc_records;
+};
+
+/// Builds and runs one fuzzed scenario: every draw comes from `master_seed`
+/// alone, so two calls construct identical sessions and only
+/// SessionConfig::threads differs. Bottleneck groups are random subranges
+/// of single cohorts (the engine's cohort-confinement rule), everything
+/// else — population, policies, churn, scripted moves, private channels —
+/// is randomized, and the cohort size is forced to never divide the
+/// population evenly so the final short cohort is always exercised.
+EquivalenceOutcome run_equivalence_scenario(std::uint64_t master_seed,
+                                            std::size_t threads) {
+  util::Rng rng(master_seed);
+
+  const unsigned g = 2 + static_cast<unsigned>(rng.below(4));
+  const std::size_t k = 24 + rng.below(40);
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, k, k, 8);
+  proto::ProtocolConfig cfg;
+  cfg.layers = g;
+  const auto server = std::make_shared<proto::FountainServer>(
+      cfg, code->encoded_count(), 0x5eed ^ master_seed, code->codec_id());
+  const double rate0 = server->subscribed_rate(0);
+
+  std::size_t receivers = 40 + rng.below(160);
+  const std::size_t cohort = 8 + rng.below(41);
+  if (receivers % cohort == 0) ++receivers;  // keep the last cohort short
+
+  engine::SessionConfig config;
+  config.horizon = 4000;
+  config.cohort_size = cohort;
+  config.threads = threads;
+  Session session(*code, config);
+  const SourceId src = session.add_source(server);
+
+  // Per cohort, maybe one bottleneck group over a random member subrange.
+  struct Group {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::shared_ptr<engine::SharedBottleneck> queue;
+  };
+  std::vector<Group> groups;
+  for (std::size_t first = 0; first < receivers; first += cohort) {
+    const std::size_t count = std::min(cohort, receivers - first);
+    if (count < 2 || !rng.chance(0.6)) continue;
+    const std::size_t members = 2 + rng.below(count - 1);
+    const std::size_t begin = first + rng.below(count - members + 1);
+    // >= 0.9x the all-at-level-0 load, so the group never starves outright.
+    const double capacity =
+        std::max(1.0, static_cast<double>(members) * rate0 *
+                          (0.9 + 1.5 * rng.uniform()));
+    groups.push_back(Group{begin, begin + members,
+                           std::make_shared<engine::SharedBottleneck>(
+                               capacity)});
+  }
+  const auto group_of = [&groups](std::size_t i) -> const Group* {
+    for (const Group& grp : groups) {
+      if (i >= grp.begin && i < grp.end) return &grp;
+    }
+    return nullptr;
+  };
+
+  cc::TraceLog log(receivers);
+  for (std::size_t i = 0; i < receivers; ++i) {
+    ReceiverSpec spec;
+    spec.join = rng.below(60);
+    if (rng.chance(0.15)) {  // churn: leaves mid-session
+      spec.leave = spec.join + 50 + rng.below(800);
+    }
+    spec.policy.seed = rng();
+    spec.policy.initial_level = static_cast<unsigned>(rng.below(g));
+    switch (rng.below(4)) {
+      case 0:  // fixed level
+        break;
+      case 1:  // legacy burst-probe machinery + synthetic environment
+        spec.policy.adaptive = true;
+        spec.policy.initial_capacity = static_cast<unsigned>(rng.below(g));
+        spec.policy.capacity_change_prob = 0.02 * rng.uniform();
+        spec.policy.congestion_extra_loss = 0.5 * rng.uniform();
+        break;
+      case 2:
+        spec.controller =
+            log.wrap(i, spec.join, std::make_unique<cc::LossDrivenPolicy>(
+                                       random_loss_driven_config(rng)));
+        break;
+      default:
+        spec.controller =
+            log.wrap(i, spec.join, std::make_unique<ChaosPolicy>());
+        break;
+    }
+    if (rng.chance(0.3)) {
+      spec.moves.push_back(engine::ScriptedMove{
+          spec.join + 20 + rng.below(100),
+          static_cast<unsigned>(rng.below(g))});
+    }
+    const ReceiverId id = session.add_receiver(std::move(spec));
+    if (const Group* grp = group_of(i)) {
+      session.subscribe(id, src,
+                        std::make_unique<engine::BottleneckLink>(
+                            grp->queue, rng(), 0.04 * rng.uniform()));
+    } else {
+      session.subscribe(id, src,
+                        std::make_unique<engine::LossLink>(
+                            std::make_unique<net::GilbertElliottLoss>(
+                                0.01 + 0.25 * rng.uniform(),
+                                1.5 + 8.0 * rng.uniform(), rng())));
+    }
+  }
+
+  EquivalenceOutcome out;
+  out.reports = session.run();
+  out.cc_records = log.records();
+  return out;
+}
+
+TEST(AdaptationSoak, ThreadCountEquivalenceUnderFuzz) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "master_seed=" << seed);
+    const auto golden = run_equivalence_scenario(seed, 1);
+    ASSERT_FALSE(golden.reports.empty());
+    // 2 matches a dual-core runner; 5 oversubscribes it and never divides
+    // the cohort count evenly, so work stealing reorders cohort execution.
+    for (const std::size_t threads : {2, 5}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      const auto outcome = run_equivalence_scenario(seed, threads);
+      ASSERT_EQ(golden.reports.size(), outcome.reports.size());
+      for (std::size_t i = 0; i < golden.reports.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "receiver " << i);
+        const auto& a = golden.reports[i];
+        const auto& b = outcome.reports[i];
+        EXPECT_EQ(a.completed, b.completed);
+        EXPECT_EQ(a.completed_at, b.completed_at);
+        EXPECT_EQ(a.addressed, b.addressed);
+        EXPECT_EQ(a.received, b.received);
+        EXPECT_EQ(a.distinct, b.distinct);
+        EXPECT_EQ(a.lost, b.lost);
+        EXPECT_EQ(a.rejected, b.rejected);
+        EXPECT_EQ(a.level_changes, b.level_changes);
+        EXPECT_EQ(a.final_level, b.final_level);
+        EXPECT_EQ(a.peak_level, b.peak_level);
+      }
+      ASSERT_EQ(golden.cc_records.size(), outcome.cc_records.size());
+      for (std::size_t i = 0; i < golden.cc_records.size(); ++i) {
+        EXPECT_EQ(golden.cc_records[i], outcome.cc_records[i])
+            << "record " << i;
+      }
+    }
   }
 }
 

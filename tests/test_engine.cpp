@@ -9,9 +9,13 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "carousel/carousel.hpp"
 #include "cc/policies.hpp"
+#include "cc/trace.hpp"
 #include "core/tornado.hpp"
+#include "engine/pool.hpp"
 #include "engine/session.hpp"
 #include "engine/sources.hpp"
 #include "fec/reed_solomon.hpp"
@@ -364,21 +368,36 @@ TEST(Links, SharedBottleneckCouplesSubscribers) {
 
 TEST(SessionValidation, BottleneckSpanningCohortsIsRejected) {
   // Shared-bottleneck rate aggregation is only sound when all attached
-  // receivers are simulated concurrently; cohort_size 1 splits them.
+  // receivers are simulated concurrently; cohort_size 1 splits them. The
+  // scenario is validated before any sharding, so it must throw — with the
+  // documented message — at every thread count, including auto (0).
   const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 20, 20, 8);
   const auto order = carousel::Carousel::sequential(code->encoded_count());
-  SessionConfig config;
-  config.cohort_size = 1;
-  Session session(*code, config);
-  const SourceId src = session.add_source(
-      std::make_shared<CarouselSource>(order, code->codec_id()));
-  const auto queue = std::make_shared<engine::SharedBottleneck>(5.0);
-  for (int i = 0; i < 2; ++i) {
-    const ReceiverId id = session.add_receiver(ReceiverSpec{});
-    session.subscribe(id, src,
-                      std::make_unique<engine::BottleneckLink>(queue, 7 + i));
+  for (const std::size_t threads : {0, 1, 2, 4, 8}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    SessionConfig config;
+    config.cohort_size = 1;
+    config.threads = threads;
+    Session session(*code, config);
+    const SourceId src = session.add_source(
+        std::make_shared<CarouselSource>(order, code->codec_id()));
+    const auto queue = std::make_shared<engine::SharedBottleneck>(5.0);
+    for (int i = 0; i < 2; ++i) {
+      const ReceiverId id = session.add_receiver(ReceiverSpec{});
+      session.subscribe(id, src,
+                        std::make_unique<engine::BottleneckLink>(queue, 7 + i));
+    }
+    try {
+      session.run();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what())
+                    .find("receivers sharing a bottleneck span several "
+                          "cohorts"),
+                std::string::npos)
+          << e.what();
+    }
   }
-  EXPECT_THROW(session.run(), std::invalid_argument);
 }
 
 namespace determinism {
@@ -414,76 +433,89 @@ class TraceSink final : public engine::PacketSink {
 struct Outcome {
   std::vector<std::string> traces;
   std::vector<ReceiverReport> reports;
+  std::vector<cc::TraceLog::Record> cc_records;
 };
 
 /// A mixed adaptive population (loss-driven controllers, legacy burst-probe
-/// receivers, a scripted-move receiver) contending on one shared
-/// bottleneck. Everything is derived from fixed seeds.
-Outcome run_adaptive_scenario() {
+/// receivers, scripted-move receivers) contending on shared bottlenecks:
+/// `groups` groups of six receivers, one SharedBottleneck per group, each
+/// group confined to its own cohort when cohort_size = 6. Everything is
+/// derived from fixed seeds, so the outcome — per-receiver delivery traces,
+/// reports, and the merged cc trace record stream — must be byte-identical
+/// at every (threads, run) combination.
+Outcome run_adaptive_scenario(std::size_t threads, std::size_t cohort_size,
+                              std::size_t groups) {
   const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 60, 60, 8);
   proto::ProtocolConfig cfg;
   cfg.layers = 4;
   const auto server = std::make_shared<proto::FountainServer>(
       cfg, code->encoded_count(), 0x5eed, code->codec_id());
 
+  constexpr std::size_t kGroupSize = 6;
   SessionConfig config;
   config.horizon = 600;
+  config.cohort_size = cohort_size;
+  config.threads = threads;
   Session session(*code, config);
   const SourceId src = session.add_source(server);
-  // rate(level 0) = n / B = 15 pkt/round; six receivers fit at level 0 with
-  // 10% headroom, so high starting levels force congestion episodes.
-  const auto queue = std::make_shared<engine::SharedBottleneck>(99.0);
 
+  cc::TraceLog log(groups * kGroupSize);
   std::vector<TraceSink*> sinks;
-  for (std::size_t i = 0; i < 6; ++i) {
-    ReceiverSpec spec;
-    spec.join = 7 * i;
-    spec.policy.seed = 1000 + i;
-    if (i % 3 == 0) {
-      cc::LossDrivenConfig knobs;
-      knobs.window_rounds = 8;
-      knobs.initial_join_backoff = 8;
-      knobs.probe_rounds = 10;
-      spec.controller = std::make_unique<cc::LossDrivenPolicy>(knobs);
-    } else if (i % 3 == 1) {
-      spec.policy.adaptive = true;
-      spec.policy.initial_capacity = 2;
-      spec.policy.capacity_change_prob = 0.02;
-      spec.policy.congestion_extra_loss = 0.3;
-    } else {
-      spec.policy.initial_level = 3;  // over-subscribed joiner
-      spec.moves.push_back(engine::ScriptedMove{40 + 3 * i, 1});
+  for (std::size_t g = 0; g < groups; ++g) {
+    // rate(level 0) = n / B = 15 pkt/round; six receivers fit at level 0
+    // with 10% headroom, so high starting levels force congestion episodes.
+    const auto queue = std::make_shared<engine::SharedBottleneck>(99.0);
+    for (std::size_t m = 0; m < kGroupSize; ++m) {
+      const std::size_t i = g * kGroupSize + m;
+      ReceiverSpec spec;
+      spec.join = 7 * i;
+      spec.policy.seed = 1000 + i;
+      if (i % 3 == 0) {
+        cc::LossDrivenConfig knobs;
+        knobs.window_rounds = 8;
+        knobs.initial_join_backoff = 8;
+        knobs.probe_rounds = 10;
+        spec.controller = log.wrap(
+            i, spec.join, std::make_unique<cc::LossDrivenPolicy>(knobs));
+      } else if (i % 3 == 1) {
+        spec.policy.adaptive = true;
+        spec.policy.initial_capacity = 2;
+        spec.policy.capacity_change_prob = 0.02;
+        spec.policy.congestion_extra_loss = 0.3;
+      } else {
+        spec.policy.initial_level = 3;  // over-subscribed joiner
+        spec.moves.push_back(engine::ScriptedMove{40 + 3 * i, 1});
+      }
+      spec.sink = std::make_unique<TraceSink>(code->make_structural_decoder());
+      sinks.push_back(static_cast<TraceSink*>(spec.sink.get()));
+      const ReceiverId id = session.add_receiver(std::move(spec));
+      session.subscribe(
+          id, src,
+          std::make_unique<engine::BottleneckLink>(
+              queue, 0xabc + i, 0.01 * static_cast<double>(i % kGroupSize)));
     }
-    spec.sink = std::make_unique<TraceSink>(code->make_structural_decoder());
-    sinks.push_back(static_cast<TraceSink*>(spec.sink.get()));
-    const ReceiverId id = session.add_receiver(std::move(spec));
-    session.subscribe(id, src,
-                      std::make_unique<engine::BottleneckLink>(
-                          queue, 0xabc + i, 0.01 * static_cast<double>(i)));
   }
 
   Outcome out;
   out.reports = session.run();
   for (TraceSink* sink : sinks) out.traces.push_back(sink->trace());
+  out.cc_records = log.records();
   return out;
 }
 
-}  // namespace determinism
-
-TEST(SessionDeterminism, SeededAdaptiveScenarioReplaysByteIdentically) {
-  const auto first = determinism::run_adaptive_scenario();
-  const auto second = determinism::run_adaptive_scenario();
-
-  ASSERT_EQ(first.traces.size(), second.traces.size());
-  for (std::size_t i = 0; i < first.traces.size(); ++i) {
-    EXPECT_FALSE(first.traces[i].empty()) << i;
-    EXPECT_EQ(first.traces[i], second.traces[i]) << "receiver " << i;
+/// Field-by-field report equality with readable failure context.
+void expect_same_outcome(const Outcome& golden, const Outcome& other,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(golden.traces.size(), other.traces.size());
+  for (std::size_t i = 0; i < golden.traces.size(); ++i) {
+    EXPECT_FALSE(golden.traces[i].empty()) << i;
+    EXPECT_EQ(golden.traces[i], other.traces[i]) << "receiver " << i;
   }
-  ASSERT_EQ(first.reports.size(), second.reports.size());
-  for (std::size_t i = 0; i < first.reports.size(); ++i) {
-    const ReceiverReport& a = first.reports[i];
-    const ReceiverReport& b = second.reports[i];
-    EXPECT_TRUE(a.completed) << i;  // decoders reached their final state
+  ASSERT_EQ(golden.reports.size(), other.reports.size());
+  for (std::size_t i = 0; i < golden.reports.size(); ++i) {
+    const ReceiverReport& a = golden.reports[i];
+    const ReceiverReport& b = other.reports[i];
     EXPECT_EQ(a.completed, b.completed) << i;
     EXPECT_EQ(a.completed_at, b.completed_at) << i;
     EXPECT_EQ(a.addressed, b.addressed) << i;
@@ -495,6 +527,80 @@ TEST(SessionDeterminism, SeededAdaptiveScenarioReplaysByteIdentically) {
     EXPECT_EQ(a.final_level, b.final_level) << i;
     EXPECT_EQ(a.peak_level, b.peak_level) << i;
   }
+  ASSERT_EQ(golden.cc_records.size(), other.cc_records.size());
+  for (std::size_t i = 0; i < golden.cc_records.size(); ++i) {
+    EXPECT_EQ(golden.cc_records[i], other.cc_records[i]) << "record " << i;
+  }
+}
+
+}  // namespace determinism
+
+TEST(SessionDeterminism, SeededAdaptiveScenarioReplaysByteIdentically) {
+  const auto first = determinism::run_adaptive_scenario(1, 1024, 1);
+  const auto second = determinism::run_adaptive_scenario(1, 1024, 1);
+
+  for (const ReceiverReport& rep : first.reports) {
+    EXPECT_TRUE(rep.completed);  // decoders reached their final state
+  }
+  EXPECT_FALSE(first.cc_records.empty());  // the controllers did adapt
+  determinism::expect_same_outcome(first, second, "replay");
+}
+
+TEST(SessionDeterminism, ThreadCountEquivalenceMatrix) {
+  // The headline guarantee of the parallel engine: the same seeded adaptive
+  // scenario — four bottleneck groups, each exactly one cohort — produces
+  // byte-identical per-receiver delivery traces, reports, and merged cc
+  // trace records at every thread count. threads = 1 (the historical
+  // sequential path) is the golden reference; 8 threads oversubscribes any
+  // 4-core CI runner, so scheduling jitter is exercised too.
+  const auto golden = determinism::run_adaptive_scenario(1, 6, 4);
+  for (const ReceiverReport& rep : golden.reports) {
+    EXPECT_TRUE(rep.completed);
+  }
+  EXPECT_FALSE(golden.cc_records.empty());
+  for (const std::size_t threads : {2, 4, 8}) {
+    const auto outcome = determinism::run_adaptive_scenario(threads, 6, 4);
+    determinism::expect_same_outcome(
+        golden, outcome, "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(SessionDeterminism, CohortPartitionDoesNotChangeOutcomes) {
+  // Per-receiver results depend only on the receiver's own seeded streams
+  // and its bottleneck group's relative order — both invariant under the
+  // cohort partition — so resizing cohorts (the shard grain) must not move
+  // a single byte either. Groups of 6 fit in cohorts of 6, 12, and 1024.
+  const auto golden = determinism::run_adaptive_scenario(1, 6, 4);
+  determinism::expect_same_outcome(
+      golden, determinism::run_adaptive_scenario(2, 12, 4), "cohort=12");
+  determinism::expect_same_outcome(
+      golden, determinism::run_adaptive_scenario(4, 1024, 4), "cohort=1024");
+}
+
+TEST(SessionValidation, ThreadsZeroNormalizesToHardwareConcurrency) {
+  // Pinned normalization rule: threads = 0 is "auto", never an error. It
+  // resolves to hardware_concurrency clamped to >= 1; explicit requests
+  // pass through verbatim (even oversubscribed ones).
+  const std::size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(engine::resolve_threads(0), std::max<std::size_t>(hw, 1));
+  EXPECT_EQ(engine::resolve_threads(1), 1u);
+  EXPECT_EQ(engine::resolve_threads(3), 3u);
+  EXPECT_EQ(engine::resolve_threads(64), 64u);
+
+  // And a session configured with threads = 0 runs to completion.
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 20, 20, 8);
+  const auto order = carousel::Carousel::sequential(code->encoded_count());
+  SessionConfig config;
+  config.threads = 0;
+  config.cohort_size = 1;  // several cohorts, so auto workers engage
+  Session session(*code, config);
+  const SourceId src = session.add_source(
+      std::make_shared<CarouselSource>(order, code->codec_id()));
+  for (int r = 0; r < 4; ++r) {
+    const ReceiverId id = session.add_receiver(ReceiverSpec{});
+    session.subscribe(id, src, std::make_unique<PerfectLink>());
+  }
+  for (const auto& report : session.run()) EXPECT_TRUE(report.completed);
 }
 
 TEST(SessionValidation, RejectsMalformedScenarios) {
