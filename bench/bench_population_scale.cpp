@@ -142,12 +142,15 @@ RunOutcome run_once(std::size_t receivers, std::size_t k, std::size_t threads,
     out.packets += rep.addressed;
     if (!rep.completed && r % 20 != 19) ++out.incomplete_stayers;
     fnv.mix(rep.completed ? 1 : 0);
+    fnv.mix(static_cast<std::uint64_t>(rep.outcome));
     fnv.mix(rep.completed_at);
     fnv.mix(rep.addressed);
     fnv.mix(rep.received);
     fnv.mix(rep.distinct);
     fnv.mix(rep.lost);
     fnv.mix(rep.rejected);
+    fnv.mix(rep.corrupt_rejected);
+    fnv.mix(rep.duplicates_dropped);
     fnv.mix(rep.level_changes);
     fnv.mix(rep.final_level);
     fnv.mix(rep.peak_level);

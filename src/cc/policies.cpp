@@ -92,11 +92,13 @@ void LossDrivenPolicy::schedule_join(unsigned target_level) {
 unsigned LossDrivenPolicy::on_round(const RoundView& round, unsigned level) {
   ++rounds_seen_;
 
-  // Slide the hysteresis window one firing.
+  // Slide the hysteresis window one firing. Corrupted arrivals count as
+  // loss: the window tracks packets that yielded nothing usable.
+  const std::uint64_t unusable = round.lost + round.corrupt;
   Sample& slot = window_[window_next_];
   window_addressed_ += round.addressed - slot.addressed;
-  window_lost_ += round.lost - slot.lost;
-  slot = Sample{round.addressed, round.lost};
+  window_lost_ += unusable - slot.lost;
+  slot = Sample{round.addressed, unusable};
   window_next_ = (window_next_ + 1) % window_.size();
   if (window_filled_ < window_.size()) ++window_filled_;
 

@@ -24,16 +24,23 @@ struct RoundView {
   engine::Time now = 0;         // tick of the firing
   std::uint64_t addressed = 0;  // packets sent on the receiver's layers
   std::uint64_t lost = 0;       // of which the link dropped
+  std::uint64_t corrupt = 0;    // arrived damaged and were rejected before
+                                // the decoder (fault plane); a congestion
+                                // signal like loss — a policy that ignored
+                                // corruption would hold its rate on a path
+                                // mangling every packet
   bool burst = false;           // the firing was a double-rate probe round
   bool probe_seen = false;      // receiver inspected burst-probe packets...
   bool probe_clean = false;     // ...and observed zero loss among them
   bool sync_point = false;      // the firing carried an SP on the receiver's
                                 // current level (a join opportunity)
 
+  /// Fraction of addressed packets that yielded nothing usable: dropped or
+  /// damaged beyond the checksums. This is what policies should react to.
   double loss_fraction() const {
-    return addressed == 0
-               ? 0.0
-               : static_cast<double>(lost) / static_cast<double>(addressed);
+    return addressed == 0 ? 0.0
+                          : static_cast<double>(lost + corrupt) /
+                                static_cast<double>(addressed);
   }
 };
 

@@ -1,0 +1,111 @@
+#include "engine/fault.hpp"
+
+#include <stdexcept>
+
+namespace fountain::engine {
+
+FaultLink::FaultLink(std::unique_ptr<LinkModel> inner, FaultProfile profile,
+                     std::uint64_t seed)
+    : inner_(std::move(inner)), profile_(profile), rng_(seed) {
+  if (!inner_) throw std::invalid_argument("FaultLink: null inner link");
+  const double probs[] = {profile.duplicate, profile.delay,
+                          profile.corrupt_header, profile.corrupt_payload,
+                          profile.truncate};
+  for (const double p : probs) {
+    if (p < 0.0) throw std::invalid_argument("FaultLink: negative probability");
+  }
+  if (profile.fault_sum() > 1.0) {
+    throw std::invalid_argument("FaultLink: fault probabilities sum past 1");
+  }
+  if (profile.max_copies < 2) {
+    throw std::invalid_argument("FaultLink: max_copies must be >= 2");
+  }
+  if (profile.max_delay < 1) {
+    throw std::invalid_argument("FaultLink: max_delay must be >= 1");
+  }
+}
+
+Verdict FaultLink::transfer(Time now) {
+  // Erasure first, from the inner link's own stream: a FaultLink over a
+  // clean profile is byte-identical to the undecorated link.
+  const Verdict inner = inner_->transfer(now);
+  if (inner.kind != FaultKind::kDeliver) {
+    ++counters_.dropped;
+    return inner;
+  }
+  // One uniform draw decides the fault band; the extra parameter (copy
+  // count, lateness) draws only on its own branch. All from the decorator's
+  // pre-split stream, never from a session-global generator.
+  const double u = rng_.uniform();
+  double edge = profile_.duplicate;
+  if (u < edge) {
+    ++counters_.duplicated;
+    const auto copies = static_cast<std::uint16_t>(
+        2 + rng_.below(static_cast<std::uint64_t>(profile_.max_copies) - 1));
+    return Verdict{FaultKind::kDuplicate, copies, 0};
+  }
+  edge += profile_.delay;
+  if (u < edge) {
+    ++counters_.delayed;
+    const Time delay = 1 + rng_.below(profile_.max_delay);
+    return Verdict{FaultKind::kDelay, 1, delay};
+  }
+  edge += profile_.corrupt_header;
+  if (u < edge) {
+    ++counters_.corrupt_header;
+    return Verdict{FaultKind::kCorruptHeader, 1, 0};
+  }
+  edge += profile_.corrupt_payload;
+  if (u < edge) {
+    ++counters_.corrupt_payload;
+    return Verdict{FaultKind::kCorruptPayload, 1, 0};
+  }
+  edge += profile_.truncate;
+  if (u < edge) {
+    ++counters_.truncated;
+    return Verdict{FaultKind::kTruncate, 1, 0};
+  }
+  ++counters_.delivered;
+  return Verdict::delivered();
+}
+
+FaultScript& FaultScript::add_outage(SourceId source, Time from, Time until) {
+  if (from >= until) {
+    throw std::invalid_argument("FaultScript: outage must end after it starts");
+  }
+  outages_.push_back(Outage{source.value, from, until});
+  return *this;
+}
+
+FaultScript FaultScript::random(std::uint64_t seed, std::size_t sources,
+                                Time horizon, unsigned outages_per_source,
+                                Time max_length) {
+  if (horizon == 0) {
+    throw std::invalid_argument("FaultScript::random: zero horizon");
+  }
+  if (max_length < 1) {
+    throw std::invalid_argument("FaultScript::random: max_length must be >= 1");
+  }
+  FaultScript script;
+  util::Rng rng(seed);
+  for (std::size_t s = 0; s < sources; ++s) {
+    for (unsigned i = 0; i < outages_per_source; ++i) {
+      const Time from = rng.below(horizon);
+      const Time len = 1 + rng.below(max_length);
+      script.add_outage(SourceId{static_cast<std::uint32_t>(s)}, from,
+                        from + len);
+    }
+  }
+  return script;
+}
+
+bool FaultScript::blacked_out(std::uint32_t source, Time now) const {
+  for (const Outage& outage : outages_) {
+    if (outage.source == source && outage.from <= now && now < outage.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fountain::engine

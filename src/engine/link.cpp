@@ -18,11 +18,12 @@ LossLink& LossLink::add_regime(Time at, std::unique_ptr<net::LossModel> model) {
   return *this;
 }
 
-bool LossLink::deliver(Time now) {
+Verdict LossLink::transfer(Time now) {
   while (current_ + 1 < regimes_.size() && regimes_[current_ + 1].at <= now) {
     ++current_;
   }
-  return !regimes_[current_].model->lost();
+  return regimes_[current_].model->lost() ? Verdict::dropped()
+                                          : Verdict::delivered();
 }
 
 SharedBottleneck::SharedBottleneck(double capacity) : capacity_(capacity) {
@@ -63,10 +64,10 @@ BottleneckLink::BottleneckLink(std::shared_ptr<SharedBottleneck> bottleneck,
   slot_ = bottleneck_->attach();
 }
 
-bool BottleneckLink::deliver(Time /*now*/) {
+Verdict BottleneckLink::transfer(Time /*now*/) {
   const double queue = bottleneck_->loss_probability();
   const double p = queue + base_loss_ - queue * base_loss_;
-  return !rng_.chance(p);
+  return rng_.chance(p) ? Verdict::dropped() : Verdict::delivered();
 }
 
 }  // namespace fountain::engine

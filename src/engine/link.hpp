@@ -32,9 +32,17 @@ namespace fountain::engine {
 class LinkModel {
  public:
   virtual ~LinkModel() = default;
-  /// Advances the channel one packet at tick `now`; true = delivered.
-  /// `now` is non-decreasing across calls within one receiver's lifetime.
-  virtual bool deliver(Time now) = 0;
+  /// Advances the channel one packet at tick `now` and says what happened to
+  /// it. Plain loss processes return Verdict::delivered() or
+  /// Verdict::dropped(); a FaultLink (engine/fault.hpp) may return any
+  /// FaultKind. `now` is non-decreasing across calls within one receiver's
+  /// lifetime.
+  virtual Verdict transfer(Time now) = 0;
+
+  /// Boolean convenience over transfer(): did the packet arrive intact and
+  /// on time? (The pre-fault-plane interface; every call advances the
+  /// channel exactly like transfer().)
+  bool deliver(Time now) { return transfer(now).kind == FaultKind::kDeliver; }
 
   /// Informs the link of the subscriber's current offered rate through it,
   /// in packets per tick. The engine calls this whenever the receiver's
@@ -54,7 +62,7 @@ class LinkModel {
 /// Lossless link.
 class PerfectLink final : public LinkModel {
  public:
-  bool deliver(Time) override { return true; }
+  Verdict transfer(Time) override { return Verdict::delivered(); }
 };
 
 /// A net::LossModel with optional scheduled regime changes: from tick `at`
@@ -67,7 +75,7 @@ class LossLink final : public LinkModel {
 
   LossLink& add_regime(Time at, std::unique_ptr<net::LossModel> model);
 
-  bool deliver(Time now) override;
+  Verdict transfer(Time now) override;
 
  private:
   struct Regime {
@@ -128,7 +136,7 @@ class BottleneckLink final : public LinkModel {
   BottleneckLink(std::shared_ptr<SharedBottleneck> bottleneck,
                  std::uint64_t seed, double base_loss = 0.0);
 
-  bool deliver(Time now) override;
+  Verdict transfer(Time now) override;
   void set_subscriber_rate(double packets_per_tick) override {
     bottleneck_->set_rate(slot_, packets_per_tick);
   }

@@ -14,13 +14,17 @@ namespace {
 
 // Event kinds, in tie-break order at equal ticks: control before firings, so
 // a receiver joining (or moving) at t hears t's packets and one leaving at t
-// does not.
-enum : std::uint8_t { kJoin = 0, kMove = 1, kLeave = 2, kFire = 3 };
+// does not. Delayed arrivals land between the two: a fault-delayed packet
+// surfacing at t was sent before t's firing, so it is heard first; equal-tick
+// arrivals resolve by pending index, i.e. send order (FIFO reordering is
+// deterministic).
+enum : std::uint8_t { kJoin = 0, kMove = 1, kLeave = 2, kArrive = 3,
+                      kFire = 4 };
 
 struct Event {
   Time at;
   std::uint8_t kind;
-  std::uint32_t a;  // member index (control) or source index (fire)
+  std::uint32_t a;  // member (control), source (fire), pending idx (arrive)
   std::uint32_t b;  // move index (kMove)
 
   friend bool operator>(const Event& lhs, const Event& rhs) {
@@ -44,6 +48,7 @@ struct AdaptState {
   unsigned capacity = 0;
   unsigned max_level = 0;
   std::uint32_t next_move = 0;
+  Time last_progress = 0;  // last tick the distinct count grew (stall clock)
   util::Rng rng{0};
   cc::ReceiverPolicy* controller = nullptr;  // null = fixed level
   cc::BurstProbePolicy burst_probe;          // backing store for the legacy
@@ -125,6 +130,14 @@ void Session::set_sink_factory(SinkFactory factory) {
   sink_factory_ = std::move(factory);
 }
 
+void Session::set_fault_script(FaultScript script) {
+  if (ran_) throw std::logic_error("Session: already run");
+  if (!fault_script_.empty()) {
+    throw std::logic_error("Session: fault script already set");
+  }
+  fault_script_ = std::move(script);
+}
+
 std::unique_ptr<PacketSink> Session::make_pooled_sink() {
   // Serialized so user factories (and codec decoder constructors) never run
   // concurrently; at most one call per (worker, slot), so contention is nil.
@@ -156,14 +169,29 @@ class Session::CohortRunner {
 
   void seed_events();
   void join_member(std::size_t m, Time now);
-  void finish_member(std::size_t m, bool completed, Time now);
+  void finish_member(std::size_t m, ReceiverOutcome outcome, Time now);
   void apply_move(std::size_t m, const ScriptedMove& mv);
   void fire_source(std::uint32_t src_idx, Time now);
   void process_batch(std::size_t m, Subscription& sub,
                      const SourceState& src_state, Time now);
+  /// Stall watchdog: finishes member m with kStalled (returning true) when
+  /// its distinct count has not grown for config.stall_timeout ticks.
+  bool maybe_stall(std::size_t m, Time now);
+  /// A fault-delayed packet surfaces at its scheduled arrival tick.
+  void deliver_pending(std::uint32_t idx, Time now);
   /// Declares member m's current per-subscription offered rates to its
   /// links (shared bottlenecks aggregate them into queueing loss).
   void push_rates(std::size_t m);
+
+  /// A packet in flight between a kDelay verdict and its kArrive event.
+  struct Pending {
+    std::uint32_t member = 0;
+    std::uint32_t source = 0;
+    std::uint32_t index = 0;
+    std::uint16_t layer = 0;
+    bool sync_point = false;
+    bool burst = false;
+  };
 
   Session& s_;
   std::vector<ReceiverReport>& reports_;
@@ -179,6 +207,7 @@ class Session::CohortRunner {
   std::vector<std::uint32_t> live_subscribers_;
   EventQueue queue_;
   PacketBatch batch_;
+  std::vector<Pending> pending_;  // indexed by kArrive events; append-only
   std::size_t remaining_ = 0;
 };
 
@@ -221,13 +250,14 @@ void Session::CohortRunner::seed_events() {
   }
 }
 
-void Session::CohortRunner::join_member(std::size_t m, Time) {
+void Session::CohortRunner::join_member(std::size_t m, Time now) {
   ReceiverSpec& spec = member(m).spec;
   AdaptState& st = adapt_[m];
   st.active = 1;
   st.level = spec.policy.initial_level;
   st.capacity = spec.policy.initial_capacity;
   st.next_move = 0;
+  st.last_progress = now;
   st.rng.reseed(spec.policy.seed);
   st.max_level = 0;
   for (const Subscription& sub : member(m).subs) {
@@ -268,13 +298,14 @@ void Session::CohortRunner::push_rates(std::size_t m) {
   }
 }
 
-void Session::CohortRunner::finish_member(std::size_t m, bool completed,
-                                          Time now) {
+void Session::CohortRunner::finish_member(std::size_t m,
+                                          ReceiverOutcome outcome, Time now) {
   AdaptState& st = adapt_[m];
   st.active = 2;
   ReceiverReport& rep = report(m);
-  rep.completed = completed;
-  if (completed) rep.completed_at = now;
+  rep.outcome = outcome;
+  rep.completed = outcome == ReceiverOutcome::kCompleted;
+  if (rep.completed) rep.completed_at = now;
   rep.final_level = st.level;
   for (Subscription& sub : member(m).subs) {
     --live_subscribers_[sub.source];
@@ -301,11 +332,22 @@ void Session::CohortRunner::fire_source(std::uint32_t src_idx, Time now) {
   // would only churn the event queue for receivers that no longer listen.
   if (live_subscribers_[src_idx] == 0) return;
   const SourceState& src_state = s_.sources_[src_idx];
-  batch_.clear();
-  src_state.source->emit((now - src_state.start) / src_state.period, batch_);
-  for (const auto& [m, sub_idx] : subscribers_[src_idx]) {
-    if (adapt_[m].active != 1) continue;
-    process_batch(m, member(m).subs[sub_idx], src_state, now);
+  if (s_.fault_script_.blacked_out(src_idx, now)) {
+    // Dead air: the sender is down, so nothing reaches the wire — but its
+    // tick grid keeps running (a restarted server resumes its schedule) and
+    // listeners' stall clocks keep counting, so a blackout can never leave a
+    // receiver hanging past the watchdog.
+    for (const auto& [m, sub_idx] : subscribers_[src_idx]) {
+      if (adapt_[m].active != 1) continue;
+      maybe_stall(m, now);
+    }
+  } else {
+    batch_.clear();
+    src_state.source->emit((now - src_state.start) / src_state.period, batch_);
+    for (const auto& [m, sub_idx] : subscribers_[src_idx]) {
+      if (adapt_[m].active != 1) continue;
+      process_batch(m, member(m).subs[sub_idx], src_state, now);
+    }
   }
   const Time next = now + src_state.period;
   if (next < s_.config_.horizon && remaining_ > 0 &&
@@ -333,6 +375,7 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
 
   std::uint64_t round_addressed = 0;
   std::uint64_t round_lost = 0;
+  std::uint64_t round_corrupt = 0;
   std::size_t probe_seen = 0;
   bool probe_loss = false;
   bool sp_on_my_level = false;
@@ -343,20 +386,60 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
     for (std::uint32_t i = seg.begin; i < seg.end; ++i) {
       const std::uint32_t index = batch_.indices[i];
       ++round_addressed;
-      bool delivered = sub.link->deliver(now);
-      if (delivered && congested &&
+      Verdict verdict = sub.link->transfer(now);
+      // The congestion draw happens only on clean delivery, so without a
+      // FaultLink the RNG advances exactly as the historical boolean path.
+      if (verdict.kind == FaultKind::kDeliver && congested &&
           st.rng.chance(policy.congestion_extra_loss)) {
-        delivered = false;  // congestion drop on top of the channel
+        verdict = Verdict::dropped();  // congestion drop on top of the channel
       }
+      // A probe counts a packet as arrived only if something usable shows up
+      // in this firing's window: delayed, corrupted and truncated packets
+      // all read as loss to the burst probe, just as on a real receiver.
+      const bool arrived_now = verdict.kind == FaultKind::kDeliver ||
+                               verdict.kind == FaultKind::kDuplicate;
       if (batch_.burst && probe_seen < policy.burst_probe_window) {
         ++probe_seen;
-        if (!delivered) probe_loss = true;
+        if (!arrived_now) probe_loss = true;
       }
-      if (!delivered) {
-        ++round_lost;
-        continue;
+      switch (verdict.kind) {
+        case FaultKind::kDrop:
+          ++round_lost;
+          continue;
+        case FaultKind::kDelay: {
+          // In flight: counted received at its kArrive tick, never lost.
+          const Time arrival = now + verdict.delay;
+          if (arrival < s_.config_.horizon) {
+            pending_.push_back(Pending{
+                static_cast<std::uint32_t>(m), sub.source, index,
+                static_cast<std::uint16_t>(seg.layer), seg.sync_point,
+                batch_.burst});
+            queue_.push(Event{arrival, kArrive,
+                              static_cast<std::uint32_t>(pending_.size() - 1),
+                              0});
+          }
+          continue;
+        }
+        case FaultKind::kCorruptHeader:
+        case FaultKind::kCorruptPayload:
+        case FaultKind::kTruncate:
+          // Damaged on the wire: the datagram arrives but the header
+          // checksum / UDP checksum / framing rejects it before any decoder
+          // sees a byte.
+          ++rep.received;
+          ++rep.corrupt_rejected;
+          ++round_corrupt;
+          continue;
+        case FaultKind::kDeliver:
+        case FaultKind::kDuplicate:
+          break;
       }
       ++rep.received;
+      if (verdict.kind == FaultKind::kDuplicate) {
+        // Copies 2..n carry an index already in hand this instant; the
+        // receive path discards them without touching the decoder.
+        rep.duplicates_dropped += verdict.copies - 1u;
+      }
       if (!src_state.codec_ok) {
         ++rep.rejected;  // wrong code: never reaches the decoder
         continue;
@@ -364,18 +447,21 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
       if (!slot.seen[index]) {
         slot.seen[index] = 1;
         ++rep.distinct;
+        st.last_progress = now;
       }
       if (sink->on_packet(Delivery{now, sub.source, index, seg.layer,
                                    seg.sync_point, batch_.burst})) {
         rep.addressed += round_addressed;
         rep.lost += round_lost;
-        finish_member(m, true, now);
+        finish_member(m, ReceiverOutcome::kCompleted, now);
         return;
       }
     }
   }
   rep.addressed += round_addressed;
   rep.lost += round_lost;
+
+  if (maybe_stall(m, now)) return;
 
   if (st.controller == nullptr) return;
 
@@ -385,6 +471,7 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
   view.now = now;
   view.addressed = round_addressed;
   view.lost = round_lost;
+  view.corrupt = round_corrupt;
   view.burst = batch_.burst;
   view.probe_seen = probe_seen > 0;
   view.probe_clean = probe_seen > 0 && !probe_loss;
@@ -396,6 +483,40 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
     ++rep.level_changes;
     rep.peak_level = std::max(rep.peak_level, st.level);
     push_rates(m);
+  }
+}
+
+bool Session::CohortRunner::maybe_stall(std::size_t m, Time now) {
+  if (s_.config_.stall_timeout == 0) return false;
+  AdaptState& st = adapt_[m];
+  if (now - st.last_progress < s_.config_.stall_timeout) return false;
+  finish_member(m, ReceiverOutcome::kStalled, now);
+  return true;
+}
+
+void Session::CohortRunner::deliver_pending(std::uint32_t idx, Time now) {
+  const Pending& p = pending_[idx];
+  const std::size_t m = p.member;
+  if (adapt_[m].active != 1) return;  // receiver finished while it flew
+  ReceiverReport& rep = report(m);
+  Slot& slot = slots_[m];
+  ++rep.received;
+  if (!s_.sources_[p.source].codec_ok) {
+    ++rep.rejected;
+    return;
+  }
+  if (!slot.seen[p.index]) {
+    slot.seen[p.index] = 1;
+    ++rep.distinct;
+    adapt_[m].last_progress = now;
+  }
+  PacketSink* sink =
+      member(m).spec.sink ? member(m).spec.sink.get() : slot.sink.get();
+  // Late arrivals sit outside any firing round, so no round accounting and
+  // no policy hook — the next firing's RoundView reflects the firing only.
+  if (sink->on_packet(Delivery{now, p.source, p.index, p.layer, p.sync_point,
+                               p.burst})) {
+    finish_member(m, ReceiverOutcome::kCompleted, now);
   }
 }
 
@@ -414,7 +535,12 @@ void Session::CohortRunner::run() {
         }
         break;
       case kLeave:
-        if (adapt_[e.a].active == 1) finish_member(e.a, false, e.at);
+        if (adapt_[e.a].active == 1) {
+          finish_member(e.a, ReceiverOutcome::kDeparted, e.at);
+        }
+        break;
+      case kArrive:
+        deliver_pending(e.a, e.at);
         break;
       case kFire:
         fire_source(e.a, e.at);
@@ -424,12 +550,19 @@ void Session::CohortRunner::run() {
   // Horizon exhausted with receivers still listening: report them incomplete
   // with whatever they accumulated.
   for (std::size_t m = 0; m < count_; ++m) {
-    if (adapt_[m].active == 1) finish_member(m, false, s_.config_.horizon);
+    if (adapt_[m].active == 1) {
+      finish_member(m, ReceiverOutcome::kHorizon, s_.config_.horizon);
+    }
   }
 }
 
 std::vector<ReceiverReport> Session::run() {
   if (ran_) throw std::logic_error("Session: already run");
+  for (const FaultScript::Outage& outage : fault_script_.outages()) {
+    if (outage.source >= sources_.size()) {
+      throw std::out_of_range("Session: fault script names an unknown source");
+    }
+  }
   // Shared link state (bottlenecks) aggregates rates across receivers, so
   // every receiver touching one must be simulated in the same cohort. This
   // is validated before any sharding, so the scenario is rejected with the

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "cc/receiver_policy.hpp"
+#include "engine/fault.hpp"
 #include "engine/link.hpp"
 #include "engine/packet_source.hpp"
 #include "engine/sink.hpp"
@@ -110,14 +111,36 @@ struct ReceiverSpec {
   std::unique_ptr<PacketSink> sink;
 };
 
+/// Why a receiver's simulation ended — every receiver ends in exactly one of
+/// these, so a chaos scenario can assert "completed with verified data or
+/// failed with a classified reason, never a hang".
+enum class ReceiverOutcome : std::uint8_t {
+  kHorizon = 0,    // still listening when the session horizon hit
+  kCompleted = 1,  // sink reported the transfer complete
+  kDeparted = 2,   // left at its scripted leave tick (churn)
+  kStalled = 3,    // stall watchdog: no distinct-symbol progress for
+                   // SessionConfig::stall_timeout ticks
+};
+
 struct ReceiverReport {
   bool completed = false;
+  ReceiverOutcome outcome = ReceiverOutcome::kHorizon;
   Time completed_at = 0;           // tick of the completing firing
   std::uint64_t addressed = 0;     // packets sent on subscribed layers
-  std::uint64_t received = 0;      // survived the link (incl. duplicates)
+  std::uint64_t received = 0;      // arrived at the receiver (first copies
+                                   // only; corrupt arrivals included)
   std::uint64_t distinct = 0;      // distinct encoding indices received
-  std::uint64_t lost = 0;          // addressed - received
+  std::uint64_t lost = 0;          // erased by the link; addressed may exceed
+                                   // received + lost by packets still delayed
+                                   // in flight when the receiver finished
   std::uint64_t rejected = 0;      // received from a codec-mismatched source
+  // Fault counters (engine/fault.hpp). All zero without a FaultLink.
+  std::uint64_t corrupt_rejected = 0;   // checksum/framing rejects: damaged
+                                        // header or payload, truncation —
+                                        // counted in received, never decoded
+  std::uint64_t duplicates_dropped = 0; // fault-injected extra copies
+                                        // discarded before the decoder (not
+                                        // counted in received)
   unsigned level_changes = 0;
   unsigned final_level = 0;
   unsigned peak_level = 0;         // highest level held at any point
@@ -162,6 +185,11 @@ struct SessionConfig {
   /// O(min(threads, cohorts) * cohort_size * sink). Output (reports,
   /// delivery traces, cc traces) is byte-identical at every thread count.
   std::size_t threads = 0;
+  /// Stall watchdog: a receiver making no distinct-symbol progress for this
+  /// many ticks is finished with ReceiverOutcome::kStalled instead of idling
+  /// to the horizon (the "never a hang" guarantee under server blackouts and
+  /// mirror death). 0 disables the watchdog.
+  Time stall_timeout = 0;
 };
 
 class Session {
@@ -200,6 +228,11 @@ class Session {
   /// sink objects, one per slot, never shared across workers).
   using SinkFactory = std::function<std::unique_ptr<PacketSink>()>;
   void set_sink_factory(SinkFactory factory);
+
+  /// Installs sender blackout windows (engine/fault.hpp). Outage source ids
+  /// are validated against the registered sources when run() starts. May be
+  /// called at most once, before run().
+  void set_fault_script(FaultScript script);
 
   /// Runs the whole scenario; reports are indexed by ReceiverId::value.
   /// May be called once.
@@ -245,6 +278,7 @@ class Session {
   std::mutex sink_factory_mutex_;
   std::vector<SourceState> sources_;
   std::vector<ReceiverState> receivers_;
+  FaultScript fault_script_;
   bool ran_ = false;
 };
 

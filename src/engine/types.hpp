@@ -60,4 +60,37 @@ struct Delivery {
   bool burst = false;
 };
 
+/// What a channel did to one packet — the fault-plane generalization of the
+/// old boolean deliver/drop. The clean verdicts (kDeliver, kDrop) are what
+/// every pre-existing LinkModel emits; the adversarial ones are produced by
+/// a FaultLink decorator (engine/fault.hpp) and model what real multicast
+/// paths do beyond erasing: duplicate, hold back and reorder, flip header or
+/// payload bits, cut a datagram short.
+enum class FaultKind : std::uint8_t {
+  kDeliver = 0,        // arrives intact, now
+  kDrop = 1,           // erased by the channel
+  kDuplicate = 2,      // arrives intact, `copies` times total
+  kDelay = 3,          // arrives intact but `delay` ticks late (reordering)
+  kCorruptHeader = 4,  // arrives with damaged header: checksum rejects it
+  kCorruptPayload = 5, // arrives with damaged payload: UDP checksum rejects it
+  kTruncate = 6,       // arrives short: framing rejects it
+};
+
+/// Per-packet channel verdict. `copies` is meaningful only for kDuplicate
+/// (total arrivals, >= 2); `delay` only for kDelay (ticks until arrival,
+/// >= 1). The receiver-visible semantics per kind live with the engine's
+/// accounting table in session.hpp (ReceiverReport).
+struct Verdict {
+  FaultKind kind = FaultKind::kDeliver;
+  std::uint16_t copies = 1;
+  Time delay = 0;
+
+  static constexpr Verdict delivered() { return Verdict{}; }
+  static constexpr Verdict dropped() {
+    return Verdict{FaultKind::kDrop, 1, 0};
+  }
+
+  friend bool operator==(const Verdict&, const Verdict&) = default;
+};
+
 }  // namespace fountain::engine

@@ -16,4 +16,10 @@ enum class CodecId : std::uint8_t {
   kInterleaved = 2,
 };
 
+/// True iff `raw` names a CodecId above. Wire parsers must check this before
+/// casting an untrusted byte into the enum.
+constexpr bool is_known_codec(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(CodecId::kInterleaved);
+}
+
 }  // namespace fountain::fec

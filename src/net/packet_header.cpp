@@ -1,5 +1,6 @@
 #include "net/packet_header.hpp"
 
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
@@ -21,7 +22,51 @@ std::uint32_t get_u32(const std::uint8_t* in) {
          static_cast<std::uint32_t>(in[3]);
 }
 
+constexpr std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (unsigned i = 0; i < 256; ++i) {
+    std::uint8_t crc = static_cast<std::uint8_t>(i);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                                   : crc << 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> kCrc8Table = make_crc8_table();
+
+/// CRC-8 over the eleven non-checksum header bytes, in wire order.
+std::uint8_t header_crc(const std::uint8_t* wire) {
+  std::uint8_t crc = 0;
+  for (std::size_t i = 0; i < PacketHeader::kWireSize; ++i) {
+    if (i == 9) continue;  // the checksum byte itself
+    crc = kCrc8Table[crc ^ wire[i]];
+  }
+  return crc;
+}
+
 }  // namespace
+
+const char* parse_error_name(ParseError error) {
+  switch (error) {
+    case ParseError::kNone: return "none";
+    case ParseError::kTooShort: return "too_short";
+    case ParseError::kBadChecksum: return "bad_checksum";
+    case ParseError::kBadMagic: return "bad_magic";
+    case ParseError::kBadCodec: return "bad_codec";
+    case ParseError::kGroupOutOfRange: return "group_out_of_range";
+    case ParseError::kBadField: return "bad_field";
+  }
+  return "unknown";
+}
+
+std::uint8_t crc8(util::ConstByteSpan data) {
+  std::uint8_t crc = 0;
+  for (const std::uint8_t byte : data) crc = kCrc8Table[crc ^ byte];
+  return crc;
+}
 
 void PacketHeader::serialize(util::ByteSpan out) const {
   if (out.size() < kWireSize) {
@@ -30,9 +75,9 @@ void PacketHeader::serialize(util::ByteSpan out) const {
   put_u32(out.data(), packet_index);
   put_u32(out.data() + 4, serial);
   out[8] = static_cast<std::uint8_t>(codec);
-  out[9] = 0;  // reserved
   out[10] = static_cast<std::uint8_t>(group >> 8);
   out[11] = static_cast<std::uint8_t>(group);
+  out[9] = header_crc(out.data());
 }
 
 PacketHeader PacketHeader::parse(util::ConstByteSpan in) {
@@ -57,12 +102,28 @@ std::vector<std::uint8_t> frame_packet(const PacketHeader& header,
   return wire;
 }
 
-std::optional<ParsedPacket> parse_packet(util::ConstByteSpan wire) {
-  if (wire.size() < PacketHeader::kWireSize) return std::nullopt;
-  ParsedPacket p;
-  p.header = PacketHeader::parse(wire);
-  p.payload = wire.subspan(PacketHeader::kWireSize);
-  return p;
+ParseResult parse_packet(util::ConstByteSpan wire, std::uint16_t group_limit) {
+  ParseResult result;
+  if (wire.size() < PacketHeader::kWireSize) {
+    result.error = ParseError::kTooShort;
+    return result;
+  }
+  if (wire[9] != header_crc(wire.data())) {
+    result.error = ParseError::kBadChecksum;
+    return result;
+  }
+  if (!fec::is_known_codec(wire[8])) {
+    result.error = ParseError::kBadCodec;
+    return result;
+  }
+  PacketHeader header = PacketHeader::parse(wire);
+  if (header.group >= group_limit) {
+    result.error = ParseError::kGroupOutOfRange;
+    return result;
+  }
+  result.packet.header = header;
+  result.packet.payload = wire.subspan(PacketHeader::kWireSize);
+  return result;
 }
 
 }  // namespace fountain::net

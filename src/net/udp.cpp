@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -79,9 +80,11 @@ std::uint16_t UdpSocket::local_port() const {
 
 void UdpSocket::send_to(const Endpoint& peer, util::ConstByteSpan payload) {
   const sockaddr_in addr = to_sockaddr(peer);
-  const auto sent =
-      ::sendto(fd_, payload.data(), payload.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  ssize_t sent;
+  do {
+    sent = ::sendto(fd_, payload.data(), payload.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (sent < 0 && errno == EINTR);
   if (sent < 0) throw_errno("sendto");
   if (static_cast<std::size_t>(sent) != payload.size()) {
     throw std::runtime_error("UdpSocket: short send");
@@ -89,20 +92,39 @@ void UdpSocket::send_to(const Endpoint& peer, util::ConstByteSpan payload) {
 }
 
 std::optional<UdpSocket::Datagram> UdpSocket::receive(
-    std::chrono::milliseconds timeout) {
-  pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-  if (ready < 0) throw_errno("poll");
-  if (ready == 0) return std::nullopt;
+    std::chrono::milliseconds timeout, std::size_t max_payload) {
+  // Poll against an absolute deadline so EINTR restarts wait only the
+  // remaining time instead of the full timeout again.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(std::max<long long>(left.count(), 0)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) return std::nullopt;
+    break;
+  }
 
-  std::vector<std::uint8_t> buf(65536);
+  std::vector<std::uint8_t> buf(max_payload);
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
-  const auto got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
-                              reinterpret_cast<sockaddr*>(&addr), &len);
+  ssize_t got;
+  do {
+    len = sizeof(addr);
+    // MSG_TRUNC makes recvfrom return the datagram's true wire length even
+    // when it exceeds the buffer, which is how truncation becomes visible.
+    got = ::recvfrom(fd_, buf.data(), buf.size(), MSG_TRUNC,
+                     reinterpret_cast<sockaddr*>(&addr), &len);
+  } while (got < 0 && errno == EINTR);
   if (got < 0) throw_errno("recvfrom");
-  buf.resize(static_cast<std::size_t>(got));
-  return Datagram{std::move(buf), from_sockaddr(addr)};
+  const bool truncated = static_cast<std::size_t>(got) > buf.size();
+  buf.resize(std::min(static_cast<std::size_t>(got), buf.size()));
+  return Datagram{std::move(buf), from_sockaddr(addr), truncated};
 }
 
 void UdpSocket::join_multicast(const std::string& group_addr) {

@@ -35,14 +35,24 @@ class UdpSocket {
   /// The locally bound port (after bind).
   std::uint16_t local_port() const;
 
+  /// Retries transparently on EINTR; throws on any other send failure.
   void send_to(const Endpoint& peer, util::ConstByteSpan payload);
 
   struct Datagram {
     std::vector<std::uint8_t> payload;
     Endpoint from;
+    /// The datagram on the wire was longer than the receive buffer and the
+    /// kernel cut it short (MSG_TRUNC). `payload` holds only the prefix —
+    /// a distinct outcome from a short datagram, so framing code can reject
+    /// it instead of parsing a silently truncated packet as complete.
+    bool truncated = false;
   };
-  /// Blocks up to `timeout`; returns std::nullopt on timeout.
-  std::optional<Datagram> receive(std::chrono::milliseconds timeout);
+  /// Blocks up to `timeout`; returns std::nullopt on timeout. Interrupted
+  /// system calls (EINTR) are retried against the original deadline, so a
+  /// signal can neither abort the wait nor extend it. `max_payload` bounds
+  /// the receive buffer; longer datagrams come back with truncated = true.
+  std::optional<Datagram> receive(std::chrono::milliseconds timeout,
+                                  std::size_t max_payload = 65536);
 
   /// Joins an IPv4 multicast group (throws if unsupported on this host).
   void join_multicast(const std::string& group_addr);

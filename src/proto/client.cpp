@@ -29,19 +29,22 @@ void StatisticalDataClient::reset() {
   decoder_->reset();
   distinct_ = 0;
   attempts_ = 0;
+  rejected_ = 0;
+  duplicates_ = 0;
   complete_ = false;
 }
 
 bool StatisticalDataClient::on_packet(std::uint32_t index,
                                       util::ConstByteSpan payload) {
   if (complete_) return true;
-  if (index >= code_.encoded_count()) {
-    throw std::out_of_range("StatisticalDataClient: index");
+  if (index >= code_.encoded_count() ||
+      payload.size() != code_.symbol_size()) {
+    ++rejected_;  // adversarial or mismatched sender: drop, never decode
+    return complete_;
   }
-  if (payload.size() != code_.symbol_size()) {
-    throw std::invalid_argument("StatisticalDataClient: payload size");
-  }
-  if (!have_[index]) {
+  if (have_[index]) {
+    ++duplicates_;
+  } else {
     have_[index] = 1;
     std::memcpy(store_.row(index).data(), payload.data(), payload.size());
     order_.push_back(index);

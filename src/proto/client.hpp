@@ -34,6 +34,11 @@ class StatisticalDataClient {
                                  double step = 0.01);
 
   /// Buffers one received packet; returns true once decoding has succeeded.
+  /// Total over untrusted input: an out-of-range index (>= n) or a payload
+  /// of the wrong size is counted in rejected() and otherwise ignored — a
+  /// checksum-valid header can still carry an index from a larger code, and
+  /// that must cost one datagram, not an exception on the receive loop.
+  /// Repeats of an index already in hand are counted in duplicates().
   bool on_packet(std::uint32_t index, util::ConstByteSpan payload);
 
   /// Returns the client to its empty state (threshold back at the initial
@@ -43,6 +48,10 @@ class StatisticalDataClient {
   bool complete() const { return complete_; }
   std::size_t decode_attempts() const { return attempts_; }
   std::size_t distinct_received() const { return distinct_; }
+  /// Packets discarded for an out-of-range index or wrong payload size.
+  std::size_t rejected() const { return rejected_; }
+  /// Packets whose index was already buffered (carousel wrap, dup faults).
+  std::size_t duplicates() const { return duplicates_; }
   util::ConstSymbolView source() const;
 
  private:
@@ -58,6 +67,8 @@ class StatisticalDataClient {
   std::unique_ptr<fec::IncrementalDecoder> decoder_;
   std::size_t distinct_ = 0;
   std::size_t attempts_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t duplicates_ = 0;
   bool complete_ = false;
 };
 

@@ -71,12 +71,20 @@ void ControlInfo::serialize(util::ByteSpan out) const {
   put_u32(out.data() + 48, static_cast<std::uint32_t>(codec));
 }
 
-ControlInfo ControlInfo::parse(util::ConstByteSpan in) {
+ControlParseResult ControlInfo::parse(util::ConstByteSpan in) {
+  ControlParseResult result;
   if (in.size() < kWireSize) {
-    throw std::invalid_argument("ControlInfo: buffer too small");
+    result.error = net::ParseError::kTooShort;
+    return result;
   }
   if (get_u32(in.data()) != kMagic) {
-    throw std::invalid_argument("ControlInfo: bad magic");
+    result.error = net::ParseError::kBadMagic;
+    return result;
+  }
+  const std::uint32_t codec = get_u32(in.data() + 48);
+  if (codec > 0xff || !fec::is_known_codec(static_cast<std::uint8_t>(codec))) {
+    result.error = net::ParseError::kBadCodec;
+    return result;
   }
   ControlInfo info;
   info.file_bytes = get_u64(in.data() + 4);
@@ -87,16 +95,18 @@ ControlInfo ControlInfo::parse(util::ConstByteSpan in) {
   info.variant = get_u32(in.data() + 32);
   info.layers = get_u32(in.data() + 36);
   info.permutation_seed = get_u64(in.data() + 40);
-  const std::uint32_t codec = get_u32(in.data() + 48);
-  if (codec > 0xff) {
-    throw std::invalid_argument("ControlInfo: codec id out of range");
-  }
   info.codec = static_cast<fec::CodecId>(codec);
+  if (info.layers == 0 || info.layers > net::kMaxGroups) {
+    result.error = net::ParseError::kGroupOutOfRange;
+    return result;
+  }
   if (info.symbol_size == 0 || info.source_count == 0 ||
       info.encoded_count <= info.source_count) {
-    throw std::invalid_argument("ControlInfo: inconsistent fields");
+    result.error = net::ParseError::kBadField;
+    return result;
   }
-  return info;
+  result.info = info;
+  return result;
 }
 
 util::SymbolMatrix file_to_symbols(util::ConstByteSpan bytes,

@@ -14,9 +14,12 @@
 
 #include "core/cascade.hpp"
 #include "fec/codec_registry.hpp"
+#include "net/packet_header.hpp"
 #include "util/symbols.hpp"
 
 namespace fountain::proto {
+
+struct ControlParseResult;
 
 struct ControlInfo {
   static constexpr std::uint32_t kMagic = 0x46544E32;  // "FTN2"
@@ -41,9 +44,24 @@ struct ControlInfo {
   core::TornadoParams tornado_params() const;
 
   void serialize(util::ByteSpan out) const;
-  static ControlInfo parse(util::ConstByteSpan in);  // throws on bad magic
+  /// Total function over arbitrary bytes: never throws. Checks length,
+  /// magic, codec byte, and field consistency (including layers in
+  /// [1, net::kMaxGroups]) in that order; see ControlParseResult.
+  static ControlParseResult parse(util::ConstByteSpan in);
 
   friend bool operator==(const ControlInfo&, const ControlInfo&) = default;
+};
+
+/// Outcome of ControlInfo::parse — the control channel shares the wire
+/// ParseError taxonomy (net/packet_header.hpp): either kNone and a
+/// consistent ControlInfo, or the first failed check (info is then
+/// default-constructed and meaningless).
+struct ControlParseResult {
+  net::ParseError error = net::ParseError::kNone;
+  ControlInfo info;
+
+  bool ok() const { return error == net::ParseError::kNone; }
+  explicit operator bool() const { return ok(); }
 };
 
 /// Splits `bytes` into k symbols of `symbol_size`, zero-padding the tail.

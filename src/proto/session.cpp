@@ -102,6 +102,7 @@ SessionResult run_session(const fec::ErasureCode& code,
     const engine::ReceiverReport& er = reports[i];
     ReceiverReport& rep = result.receivers[i];
     rep.completed = er.completed;
+    rep.outcome = er.outcome;
     rep.configured_base_loss = clients[i].base_loss;
     rep.observed_loss = er.observed_loss();
     rep.eta = er.efficiency(k);
@@ -111,6 +112,8 @@ SessionResult run_session(const fec::ErasureCode& code,
     rep.final_level = er.final_level;
     rep.peak_level = er.peak_level;
     rep.rounds_to_complete = er.completed ? er.completed_at + 1 : 0;
+    rep.corrupt_rejected = er.corrupt_rejected;
+    rep.duplicates_dropped = er.duplicates_dropped;
   }
   return result;
 }

@@ -50,6 +50,7 @@ struct SimClientConfig {
 
 struct ReceiverReport {
   bool completed = false;
+  engine::ReceiverOutcome outcome = engine::ReceiverOutcome::kHorizon;
   double configured_base_loss = 0.0;
   double observed_loss = 0.0;
   double eta = 0.0;    // total protocol efficiency
@@ -59,6 +60,13 @@ struct ReceiverReport {
   unsigned final_level = 0;
   unsigned peak_level = 0;
   std::uint64_t rounds_to_complete = 0;
+  // Fault-plane counters. The first two mirror the engine report (zero
+  // without fault injection); the last two are filled by the wire-path
+  // client (fetch_control) and stay zero in pure engine scenarios.
+  std::uint64_t corrupt_rejected = 0;    // checksum/framing rejects
+  std::uint64_t duplicates_dropped = 0;  // extra copies discarded
+  std::uint64_t retries = 0;             // control-channel repeat requests
+  std::uint64_t failovers = 0;           // control-channel mirror switches
 };
 
 struct SessionResult {

@@ -212,7 +212,9 @@ TEST(CodecRegistry, ControlInfoCarriesTheFactoryInputs) {
         /*permutation_seed=*/3, id);
     std::vector<std::uint8_t> frame(proto::ControlInfo::kWireSize);
     info.serialize(util::ByteSpan(frame));
-    const auto parsed = proto::ControlInfo::parse(util::ConstByteSpan(frame));
+    const auto result = proto::ControlInfo::parse(util::ConstByteSpan(frame));
+    ASSERT_TRUE(result.ok()) << net::parse_error_name(result.error);
+    const proto::ControlInfo& parsed = result.info;
     EXPECT_EQ(parsed.codec, id);
 
     const auto code =

@@ -15,7 +15,9 @@ TEST(ControlInfo, SerializeParseRoundTrip) {
                                               4, 0x123456789abcdef0ULL);
   std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
   info.serialize(util::ByteSpan(wire));
-  EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)), info);
+  const auto parsed = ControlInfo::parse(util::ConstByteSpan(wire));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.info, info);
 }
 
 TEST(ControlInfo, RejectsBadMagicAndShortBuffers) {
@@ -23,11 +25,11 @@ TEST(ControlInfo, RejectsBadMagicAndShortBuffers) {
   std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
   info.serialize(util::ByteSpan(wire));
   wire[0] ^= 0xFF;
-  EXPECT_THROW(ControlInfo::parse(util::ConstByteSpan(wire)),
-               std::invalid_argument);
+  EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)).error,
+            net::ParseError::kBadMagic);
   std::vector<std::uint8_t> tiny(8);
-  EXPECT_THROW(ControlInfo::parse(util::ConstByteSpan(tiny)),
-               std::invalid_argument);
+  EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(tiny)).error,
+            net::ParseError::kTooShort);
   EXPECT_THROW(info.serialize(util::ByteSpan(tiny)), std::invalid_argument);
 }
 
@@ -36,8 +38,83 @@ TEST(ControlInfo, RejectsInconsistentFields) {
   info.encoded_count = info.source_count;  // stretch 1 is nonsense
   std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
   info.serialize(util::ByteSpan(wire));
-  EXPECT_THROW(ControlInfo::parse(util::ConstByteSpan(wire)),
-               std::invalid_argument);
+  EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)).error,
+            net::ParseError::kBadField);
+}
+
+TEST(ControlInfo, RejectsUnknownCodecAndBadLayerCounts) {
+  const ControlInfo base = proto::make_control_info(1000, 100, 0, 1, 1, 2);
+  std::vector<std::uint8_t> wire(ControlInfo::kWireSize);
+  {
+    ControlInfo info = base;
+    info.codec = static_cast<fec::CodecId>(0x7f);  // no such family
+    info.serialize(util::ByteSpan(wire));
+    EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)).error,
+              net::ParseError::kBadCodec);
+  }
+  {
+    ControlInfo info = base;
+    info.layers = 0;  // a session must have at least one group
+    info.serialize(util::ByteSpan(wire));
+    EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)).error,
+              net::ParseError::kGroupOutOfRange);
+  }
+  {
+    ControlInfo info = base;
+    info.layers = net::kMaxGroups + 1;  // beyond the wire format's contract
+    info.serialize(util::ByteSpan(wire));
+    EXPECT_EQ(ControlInfo::parse(util::ConstByteSpan(wire)).error,
+              net::ParseError::kGroupOutOfRange);
+  }
+}
+
+TEST(ControlInfo, ParseFuzzNeverAcceptsDamage) {
+  // 10k seeded random/truncated buffers: parse is total (never throws,
+  // never reads past the span) and accepts only frames whose magic, codec,
+  // layer count and field consistency all verify.
+  util::Rng rng(0xc0ffee12);
+  const ControlInfo valid = proto::make_control_info(50000, 500, 0, 9, 4, 11);
+  std::vector<std::uint8_t> good(ControlInfo::kWireSize);
+  valid.serialize(util::ByteSpan(good));
+  std::vector<std::uint8_t> buf;
+  std::size_t accepted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const int mode = i % 3;
+    if (mode == 0) {
+      buf.assign(good.begin(),
+                 good.begin() + static_cast<long>(rng.below(good.size())));
+    } else if (mode == 1) {
+      buf = good;  // valid frame with a few random bytes flipped
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        buf[rng.below(buf.size())] ^= static_cast<std::uint8_t>(1 + rng());
+      }
+    } else {
+      buf.resize(rng.below(96));
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    }
+    const auto parsed = ControlInfo::parse(util::ConstByteSpan(buf));
+    if (buf.size() < ControlInfo::kWireSize) {
+      EXPECT_EQ(parsed.error, net::ParseError::kTooShort);
+      continue;
+    }
+    if (parsed.ok()) {
+      ++accepted;
+      const ControlInfo& info = parsed.info;
+      // Whatever got through must be internally consistent.
+      EXPECT_NE(info.symbol_size, 0u);
+      EXPECT_NE(info.source_count, 0u);
+      EXPECT_GT(info.encoded_count, info.source_count);
+      EXPECT_GE(info.layers, 1u);
+      EXPECT_LE(info.layers, static_cast<std::uint32_t>(net::kMaxGroups));
+      EXPECT_TRUE(
+          fec::is_known_codec(static_cast<std::uint8_t>(info.codec)));
+    }
+  }
+  // Flipped-bit frames may survive when the flip lands in a benign field
+  // (seed bytes, file length); purely random buffers essentially never pass
+  // the 32-bit magic. The loop must still have exercised many rejects.
+  EXPECT_LT(accepted, 4000u);
 }
 
 TEST(ControlInfo, FieldDerivation) {

@@ -523,6 +523,9 @@ void expect_same_outcome(const Outcome& golden, const Outcome& other,
     EXPECT_EQ(a.distinct, b.distinct) << i;
     EXPECT_EQ(a.lost, b.lost) << i;
     EXPECT_EQ(a.rejected, b.rejected) << i;
+    EXPECT_EQ(a.outcome, b.outcome) << i;
+    EXPECT_EQ(a.corrupt_rejected, b.corrupt_rejected) << i;
+    EXPECT_EQ(a.duplicates_dropped, b.duplicates_dropped) << i;
     EXPECT_EQ(a.level_changes, b.level_changes) << i;
     EXPECT_EQ(a.final_level, b.final_level) << i;
     EXPECT_EQ(a.peak_level, b.peak_level) << i;

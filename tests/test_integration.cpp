@@ -138,10 +138,11 @@ TEST(EndToEnd, UdpLoopbackFountainTransfer) {
     const auto datagram = client_sock.receive(std::chrono::milliseconds(2000));
     ASSERT_TRUE(datagram.has_value()) << "server went quiet";
     const auto parsed = net::parse_packet(util::ConstByteSpan(datagram->payload));
-    ASSERT_TRUE(parsed.has_value());
-    ASSERT_EQ(parsed->header.codec, code.codec_id());
-    ASSERT_EQ(parsed->payload.size(), payload_bytes);
-    done = client.on_packet(parsed->header.packet_index, parsed->payload);
+    ASSERT_TRUE(parsed.ok()) << net::parse_error_name(parsed.error);
+    ASSERT_EQ(parsed.packet.header.codec, code.codec_id());
+    ASSERT_EQ(parsed.packet.payload.size(), payload_bytes);
+    done = client.on_packet(parsed.packet.header.packet_index,
+                            parsed.packet.payload);
   }
   stop.store(true);
   server.join();

@@ -9,6 +9,7 @@
 #include "net/packet_header.hpp"
 #include "net/trace.hpp"
 #include "net/udp.hpp"
+#include "util/random.hpp"
 
 namespace fountain {
 namespace {
@@ -187,6 +188,16 @@ TEST(TracePopulation, LossModelPlaysTrace) {
               1e-12);
 }
 
+// CRC-8 of the eleven non-checksum header bytes, in wire order — the value
+// serialize() must put at byte [9].
+std::uint8_t expected_header_crc(const std::vector<std::uint8_t>& wire) {
+  std::vector<std::uint8_t> covered;
+  for (std::size_t i = 0; i < net::PacketHeader::kWireSize; ++i) {
+    if (i != 9) covered.push_back(wire[i]);
+  }
+  return net::crc8(util::ConstByteSpan(covered));
+}
+
 TEST(PacketHeader, WireFormatIsBigEndian) {
   net::PacketHeader h;
   h.packet_index = 0x01020304;
@@ -195,10 +206,101 @@ TEST(PacketHeader, WireFormatIsBigEndian) {
   h.group = 0x0102;
   std::vector<std::uint8_t> buf(12);
   h.serialize(util::ByteSpan(buf));
-  const std::vector<std::uint8_t> expect{0x01, 0x02, 0x03, 0x04, 0x0A, 0x0B,
-                                         0x0C, 0x0D, 0x02, 0x00, 0x01, 0x02};
+  // Byte [9] carries the header checksum (it was the reserved zero byte).
+  const std::vector<std::uint8_t> expect{0x01, 0x02, 0x03, 0x04,
+                                         0x0A, 0x0B, 0x0C, 0x0D,
+                                         0x02, expected_header_crc(buf),
+                                         0x01, 0x02};
   EXPECT_EQ(buf, expect);
   EXPECT_EQ(net::PacketHeader::parse(util::ConstByteSpan(buf)), h);
+}
+
+TEST(PacketHeader, ChecksumRejectsEverySingleBitFlip) {
+  // CRC-8 detects all single-bit errors: flipping any of the 96 header bits
+  // must turn the packet into a kBadChecksum reject, so a damaged header can
+  // never feed a wrong index to a decoder.
+  util::SymbolMatrix payload(1, 64);
+  payload.fill_random(7);
+  const net::PacketHeader h{90210, 17, fec::CodecId::kTornado, 2};
+  const auto wire = net::frame_packet(h, payload.row(0));
+  ASSERT_TRUE(net::parse_packet(util::ConstByteSpan(wire)).ok());
+  for (std::size_t bit = 0; bit < 8 * net::PacketHeader::kWireSize; ++bit) {
+    auto damaged = wire;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto parsed = net::parse_packet(util::ConstByteSpan(damaged));
+    EXPECT_FALSE(parsed.ok()) << "bit " << bit;
+    EXPECT_EQ(parsed.error, net::ParseError::kBadChecksum) << "bit " << bit;
+  }
+}
+
+TEST(PacketHeader, RejectsUnknownCodecAndOutOfRangeGroup) {
+  util::SymbolMatrix payload(1, 8);
+  payload.fill_random(9);
+  // Unknown codec byte with a recomputed (valid) checksum: kBadCodec.
+  {
+    auto wire = net::frame_packet(
+        net::PacketHeader{1, 2, fec::CodecId::kTornado, 0}, payload.row(0));
+    wire[8] = 0x7f;
+    wire[9] = expected_header_crc(wire);
+    const auto parsed = net::parse_packet(util::ConstByteSpan(wire));
+    EXPECT_EQ(parsed.error, net::ParseError::kBadCodec);
+  }
+  // Group numbers at/above the limit: kGroupOutOfRange ("the schedule
+  // allows at most 16 layers").
+  {
+    const auto wire = net::frame_packet(
+        net::PacketHeader{1, 2, fec::CodecId::kTornado, net::kMaxGroups},
+        payload.row(0));
+    const auto parsed = net::parse_packet(util::ConstByteSpan(wire));
+    EXPECT_EQ(parsed.error, net::ParseError::kGroupOutOfRange);
+    // A caller may narrow the limit further (a 1-layer session).
+    const auto one_layer = net::frame_packet(
+        net::PacketHeader{1, 2, fec::CodecId::kTornado, 1}, payload.row(0));
+    EXPECT_EQ(net::parse_packet(util::ConstByteSpan(one_layer), 1).error,
+              net::ParseError::kGroupOutOfRange);
+    EXPECT_TRUE(net::parse_packet(util::ConstByteSpan(one_layer), 2).ok());
+  }
+}
+
+TEST(PacketHeader, ParsePacketFuzzNeverAcceptsDamage) {
+  // 10k seeded random buffers (random lengths, plus truncated copies of
+  // valid frames): parse_packet must never crash and must only accept
+  // buffers whose checksum, codec and group all verify.
+  util::Rng rng(0xfadedace);
+  std::vector<std::uint8_t> buf;
+  std::size_t accepted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 4 == 0) {
+      // Truncated copy of a valid frame (length < 12 must be kTooShort).
+      util::SymbolMatrix payload(1, 32);
+      payload.fill_random(rng());
+      const auto full = net::frame_packet(
+          net::PacketHeader{static_cast<std::uint32_t>(rng()),
+                            static_cast<std::uint32_t>(rng()),
+                            fec::CodecId::kTornado,
+                            static_cast<std::uint16_t>(rng.below(16))},
+          payload.row(0));
+      buf.assign(full.begin(),
+                 full.begin() + static_cast<long>(rng.below(full.size())));
+    } else {
+      buf.resize(rng.below(64));
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    }
+    const auto parsed = net::parse_packet(util::ConstByteSpan(buf));
+    if (buf.size() < net::PacketHeader::kWireSize) {
+      EXPECT_EQ(parsed.error, net::ParseError::kTooShort);
+      continue;
+    }
+    if (parsed.ok()) {
+      ++accepted;  // random bytes may checksum by luck (~1/256)...
+      EXPECT_EQ(buf[9], expected_header_crc(buf));  // ...but never wrongly
+      EXPECT_TRUE(fec::is_known_codec(buf[8]));
+      EXPECT_LT(parsed.packet.header.group, net::kMaxGroups);
+    }
+  }
+  // Valid-prefix truncations of 12+ bytes do parse; pure-random acceptance
+  // stays rare. Sanity-bound it so the fuzz loop provably exercised rejects.
+  EXPECT_LT(accepted, 2500u);
 }
 
 TEST(PacketHeader, HeaderIsTwelveBytes) {
@@ -218,10 +320,12 @@ TEST(PacketHeader, FrameParseRoundTrip) {
   net::PacketHeader h{123456, 789, fec::CodecId::kReedSolomon, 3};
   const auto wire = net::frame_packet(h, payload.row(0));
   const auto parsed = net::parse_packet(util::ConstByteSpan(wire));
-  ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->header, h);
-  ASSERT_EQ(parsed->payload.size(), 100u);
-  EXPECT_TRUE(std::equal(parsed->payload.begin(), parsed->payload.end(),
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(static_cast<bool>(parsed));
+  EXPECT_EQ(parsed.packet.header, h);
+  ASSERT_EQ(parsed.packet.payload.size(), 100u);
+  EXPECT_TRUE(std::equal(parsed.packet.payload.begin(),
+                         parsed.packet.payload.end(),
                          payload.row(0).begin()));
 }
 
@@ -242,9 +346,19 @@ TEST(PacketHeader, CodecByteRoundTripsForEveryFamily) {
 
 TEST(PacketHeader, ShortBufferRejected) {
   std::vector<std::uint8_t> tiny(4);
-  EXPECT_FALSE(net::parse_packet(util::ConstByteSpan(tiny)).has_value());
+  const auto parsed = net::parse_packet(util::ConstByteSpan(tiny));
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error, net::ParseError::kTooShort);
   net::PacketHeader h;
   EXPECT_THROW(h.serialize(util::ByteSpan(tiny)), std::invalid_argument);
+}
+
+TEST(ParseError, NamesAreStable) {
+  EXPECT_STREQ(net::parse_error_name(net::ParseError::kNone), "none");
+  EXPECT_STREQ(net::parse_error_name(net::ParseError::kBadChecksum),
+               "bad_checksum");
+  EXPECT_STREQ(net::parse_error_name(net::ParseError::kGroupOutOfRange),
+               "group_out_of_range");
 }
 
 TEST(Udp, LoopbackRoundTrip) {
@@ -276,6 +390,37 @@ TEST(Udp, BadAddressThrows) {
   std::vector<std::uint8_t> payload{1};
   EXPECT_THROW(sock.send_to({"999.1.1.1", 1}, util::ConstByteSpan(payload)),
                std::invalid_argument);
+}
+
+TEST(Udp, TruncatedDatagramIsSurfacedAsSuch) {
+  // A datagram longer than the receive buffer must come back flagged
+  // truncated (MSG_TRUNC) with the prefix payload — never silently passed
+  // off as a complete packet.
+  net::UdpSocket receiver;
+  receiver.bind({"127.0.0.1", 0});
+  const auto port = receiver.local_port();
+  net::UdpSocket sender;
+  std::vector<std::uint8_t> big(2048);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  sender.send_to({"127.0.0.1", port}, util::ConstByteSpan(big));
+  const auto got =
+      receiver.receive(std::chrono::milliseconds(2000), /*max_payload=*/512);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->truncated);
+  ASSERT_EQ(got->payload.size(), 512u);
+  EXPECT_TRUE(std::equal(got->payload.begin(), got->payload.end(),
+                         big.begin()));
+
+  // A datagram that fits exactly is not truncated.
+  std::vector<std::uint8_t> fits(512, 0xCD);
+  sender.send_to({"127.0.0.1", port}, util::ConstByteSpan(fits));
+  const auto got2 =
+      receiver.receive(std::chrono::milliseconds(2000), /*max_payload=*/512);
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_FALSE(got2->truncated);
+  EXPECT_EQ(got2->payload, fits);
 }
 
 TEST(Udp, ManyDatagramsInOrderOnLoopback) {

@@ -3,11 +3,16 @@
 // decoding client, and whole sessions.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "core/tornado.hpp"
 #include "fec/reed_solomon.hpp"
 #include "proto/client.hpp"
+#include "proto/fetch.hpp"
 #include "proto/server.hpp"
 #include "proto/session.hpp"
 
@@ -331,6 +336,218 @@ TEST(StatisticalClient, SourceBeforeCompleteThrows) {
   proto::StatisticalDataClient client(code);
   EXPECT_THROW(client.source(), std::logic_error);
   EXPECT_THROW(proto::StatisticalDataClient(code, -0.1), std::invalid_argument);
+}
+
+TEST(StatisticalClient, RejectsAdversarialIndicesAndSizesWithoutThrowing) {
+  // on_packet is total over untrusted input: out-of-range indices and
+  // wrong-size payloads are tallied and dropped, never thrown, and never
+  // disturb the decode in progress.
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 40, 40, 24);
+  util::SymbolMatrix source(40, 24);
+  source.fill_random(11);
+  util::SymbolMatrix encoding(80, 24);
+  code->encode(source, encoding);
+
+  proto::StatisticalDataClient client(*code, 0.0, 0.01);
+  std::vector<std::uint8_t> short_payload(23);
+  std::vector<std::uint8_t> long_payload(25);
+  util::Rng rng(12);
+  std::size_t fed = 0;
+  for (const auto index : rng.permutation(80)) {
+    // Interleave garbage between every real packet.
+    EXPECT_FALSE(client.on_packet(80 + index, encoding.row(index % 80)));
+    EXPECT_FALSE(client.on_packet(0xffffffffu, encoding.row(0)));
+    client.on_packet(index, util::ConstByteSpan(short_payload));
+    client.on_packet(index, util::ConstByteSpan(long_payload));
+    ++fed;
+    if (client.on_packet(index, encoding.row(index))) break;
+  }
+  ASSERT_TRUE(client.complete());
+  EXPECT_EQ(client.source(), source);
+  EXPECT_EQ(client.rejected(), 4 * fed);  // every piece of garbage counted
+  EXPECT_EQ(client.duplicates(), 0u);
+  // Completion latches: further garbage is absorbed silently.
+  EXPECT_TRUE(client.on_packet(500, encoding.row(0)));
+}
+
+TEST(StatisticalClient, CountsDuplicatesAndDecodesFromExactlyKDistinct) {
+  // Adversarial stream: every symbol arrives three times in a shuffled,
+  // interleaved order, and only k distinct indices exist in total (the
+  // carousel's worst case). The client must count duplicates, decode once
+  // the k distinct ones are in, and reconstruct byte-identically.
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, 32, 32, 16);
+  util::SymbolMatrix source(32, 16);
+  source.fill_random(21);
+  util::SymbolMatrix encoding(64, 16);
+  code->encode(source, encoding);
+
+  util::Rng rng(22);
+  // k distinct encoded indices, each repeated 3x, shuffled.
+  const auto distinct = rng.permutation(64);
+  std::vector<std::uint32_t> stream;
+  for (std::size_t i = 0; i < 32; ++i) {
+    stream.insert(stream.end(), 3, distinct[i]);
+  }
+  for (std::size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.below(i)]);
+  }
+
+  proto::StatisticalDataClient client(*code, 0.0, 0.01);
+  bool done = false;
+  std::size_t processed = 0;
+  for (const auto index : stream) {
+    ++processed;
+    if (client.on_packet(index, encoding.row(index))) {
+      done = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(done);  // RS-Cauchy: any k distinct symbols decode
+  EXPECT_EQ(client.distinct_received(), 32u);
+  // Everything beyond the 32 distinct symbols was a counted duplicate.
+  EXPECT_EQ(client.duplicates(), processed - 32);
+  EXPECT_EQ(client.rejected(), 0u);
+  EXPECT_EQ(client.source(), source);
+}
+
+namespace fetch_fakes {
+
+/// Scripted control-channel transport: per-mirror replies, consumed in
+/// order; nullopt entries model timeouts. Records every request.
+struct FakeTransport {
+  std::vector<std::vector<std::optional<std::vector<std::uint8_t>>>> replies;
+  std::vector<std::pair<std::size_t, std::chrono::milliseconds>> log;
+  std::vector<std::size_t> cursor;
+
+  std::optional<std::vector<std::uint8_t>> operator()(
+      std::size_t mirror, std::chrono::milliseconds timeout) {
+    log.emplace_back(mirror, timeout);
+    cursor.resize(replies.size(), 0);
+    const auto& queue = replies.at(mirror);
+    if (cursor[mirror] >= queue.size()) return std::nullopt;
+    return queue[cursor[mirror]++];
+  }
+};
+
+std::vector<std::uint8_t> good_frame() {
+  const proto::ControlInfo info =
+      proto::make_control_info(10000, 500, 0, 3, 1, 5);
+  std::vector<std::uint8_t> wire(proto::ControlInfo::kWireSize);
+  info.serialize(util::ByteSpan(wire));
+  return wire;
+}
+
+}  // namespace fetch_fakes
+
+TEST(FetchControl, FirstMirrorAnswersImmediately) {
+  fetch_fakes::FakeTransport transport;
+  transport.replies = {{fetch_fakes::good_frame()}};
+  proto::FetchPolicy policy;
+  const auto result = proto::fetch_control(std::ref(transport), 1, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.mirror, 0u);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.failovers, 0u);
+  EXPECT_EQ(result.info.symbol_size, 500u);
+}
+
+TEST(FetchControl, RetriesWithExponentialBackoffThenFailsOver) {
+  // Mirror 0 never answers; mirror 1 answers on its second attempt. The
+  // request log must show the per-mirror retry budget, the widening timeout
+  // (backoff resets at failover), and the jittered sleeps in between.
+  fetch_fakes::FakeTransport transport;
+  transport.replies = {{}, {std::nullopt, fetch_fakes::good_frame()}};
+  proto::FetchPolicy policy;
+  policy.attempts_per_mirror = 3;
+  policy.initial_timeout = std::chrono::milliseconds(100);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = std::chrono::milliseconds(250);
+  policy.jitter = 0.5;
+  policy.seed = 77;
+  std::vector<std::chrono::milliseconds> sleeps;
+  const auto result = proto::fetch_control(
+      std::ref(transport), 2, policy,
+      [&](std::chrono::milliseconds d) { sleeps.push_back(d); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.mirror, 1u);
+  EXPECT_EQ(result.attempts, 5u);   // 3 on mirror 0, 2 on mirror 1
+  EXPECT_EQ(result.retries, 3u);    // attempts beyond each mirror's first
+  EXPECT_EQ(result.failovers, 1u);
+  ASSERT_EQ(transport.log.size(), 5u);
+  using std::chrono::milliseconds;
+  EXPECT_EQ(transport.log[0], std::make_pair(std::size_t{0}, milliseconds(100)));
+  EXPECT_EQ(transport.log[1].second, milliseconds(200));  // doubled
+  EXPECT_EQ(transport.log[2].second, milliseconds(250));  // capped
+  EXPECT_EQ(transport.log[3],
+            std::make_pair(std::size_t{1}, milliseconds(100)));  // reset
+  EXPECT_EQ(transport.log[4].second, milliseconds(200));
+  // One jittered sleep per retry, within +-50% of the pre-retry backoff.
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_GE(sleeps[0], milliseconds(50));
+  EXPECT_LE(sleeps[0], milliseconds(150));
+}
+
+TEST(FetchControl, DamagedRepliesAreRetriedLikeLoss) {
+  // A mirror that answers with garbage must not satisfy the fetch; the
+  // parse failure is recorded and the loop keeps going.
+  auto damaged = fetch_fakes::good_frame();
+  damaged[0] ^= 0xff;  // break the magic
+  fetch_fakes::FakeTransport transport;
+  transport.replies = {{damaged, fetch_fakes::good_frame()}};
+  proto::FetchPolicy policy;
+  const auto result = proto::fetch_control(std::ref(transport), 1, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.retries, 1u);
+  EXPECT_EQ(result.last_error, net::ParseError::kNone);  // cleared on success
+
+  fetch_fakes::FakeTransport only_garbage;
+  only_garbage.replies = {{damaged, damaged, damaged}};
+  const auto exhausted = proto::fetch_control(std::ref(only_garbage), 1,
+                                              policy);
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status, proto::FetchStatus::kExhausted);
+  EXPECT_EQ(exhausted.last_error, net::ParseError::kBadMagic);
+}
+
+TEST(FetchControl, ExhaustsEveryMirrorDeterministically) {
+  fetch_fakes::FakeTransport transport;
+  transport.replies = {{}, {}, {}};
+  proto::FetchPolicy policy;
+  policy.attempts_per_mirror = 2;
+  const auto result = proto::fetch_control(std::ref(transport), 3, policy);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.attempts, 6u);
+  EXPECT_EQ(result.retries, 3u);
+  EXPECT_EQ(result.failovers, 2u);
+  // Identical seeds replay the identical request schedule.
+  fetch_fakes::FakeTransport replay;
+  replay.replies = {{}, {}, {}};
+  proto::fetch_control(std::ref(replay), 3, policy);
+  EXPECT_EQ(transport.log, replay.log);
+}
+
+TEST(FetchControl, ValidatesItsInputs) {
+  const proto::FetchTransport transport =
+      [](std::size_t, std::chrono::milliseconds) {
+        return std::optional<std::vector<std::uint8_t>>{};
+      };
+  proto::FetchPolicy policy;
+  EXPECT_THROW(proto::fetch_control({}, 1, policy), std::invalid_argument);
+  EXPECT_THROW(proto::fetch_control(transport, 0, policy),
+               std::invalid_argument);
+  policy.attempts_per_mirror = 0;
+  EXPECT_THROW(proto::fetch_control(transport, 1, policy),
+               std::invalid_argument);
+  policy = {};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_THROW(proto::fetch_control(transport, 1, policy),
+               std::invalid_argument);
+  policy = {};
+  policy.jitter = -0.1;
+  EXPECT_THROW(proto::fetch_control(transport, 1, policy),
+               std::invalid_argument);
 }
 
 TEST(Session, AllReceiversComplete) {
