@@ -63,6 +63,12 @@ inline void print_rule(int width) {
   std::putchar('\n');
 }
 
+/// Version of the JSON-lines record layout below. Bump when a field is
+/// added, removed, or changes meaning; tools/bench_diff refuses to compare
+/// files whose records carry a different version, so a stale checked-in
+/// baseline fails loudly instead of gating against garbage.
+inline constexpr int kJsonSchemaVersion = 2;
+
 /// One machine-readable measurement. Collected per bench run and appended to
 /// the JSON perf log.
 struct JsonRecord {
@@ -93,11 +99,12 @@ inline void append_json(const std::vector<JsonRecord>& records) {
   }
   for (const auto& r : records) {
     std::fprintf(f,
-                 "{\"bench\":\"%s\",\"name\":\"%s\",\"kernel\":\"%s\","
-                 "\"seconds\":%.9g,\"mb_per_s\":%.6g,\"symbols_per_s\":%.6g,"
-                 "\"value\":%.6g}\n",
-                 r.bench.c_str(), r.name.c_str(), r.kernel.c_str(), r.seconds,
-                 r.mb_per_s, r.symbols_per_s, r.value);
+                 "{\"schema\":%d,\"bench\":\"%s\",\"name\":\"%s\","
+                 "\"kernel\":\"%s\",\"seconds\":%.9g,\"mb_per_s\":%.6g,"
+                 "\"symbols_per_s\":%.6g,\"value\":%.6g}\n",
+                 kJsonSchemaVersion, r.bench.c_str(), r.name.c_str(),
+                 r.kernel.c_str(), r.seconds, r.mb_per_s, r.symbols_per_s,
+                 r.value);
   }
   std::fclose(f);
   std::printf("\n[%zu records appended to %s]\n", records.size(), path);

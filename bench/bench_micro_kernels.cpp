@@ -68,8 +68,9 @@ struct Harness {
   }
 };
 
-const std::vector<kern::Isa> kTiers = {kern::Isa::kScalar, kern::Isa::kSse2,
-                                       kern::Isa::kAvx2, kern::Isa::kNeon};
+const std::vector<kern::Isa> kTiers = {
+    kern::Isa::kScalar, kern::Isa::kSse2, kern::Isa::kAvx2,
+    kern::Isa::kAvx512, kern::Isa::kGfni, kern::Isa::kNeon};
 
 }  // namespace
 
@@ -86,6 +87,17 @@ int main(int argc, char** argv) {
   std::printf("Micro kernels (active ISA: %s)\n",
               kern::isa_name(kern::active_isa()));
   bench::print_rule(70);
+
+  // Calibration record: a fixed scalar workload whose throughput tracks only
+  // the host (clock, memory), never the kernels under test. tools/bench_diff
+  // divides every current measurement by the calibration ratio so a slower
+  // CI machine does not read as a code regression.
+  {
+    std::vector<std::uint8_t> a(65536, 0x5a), b(65536, 0xa5);
+    const kern::Ops* scalar = kern::ops_for(kern::Isa::kScalar);
+    h.run("calibration/xor64k", "scalar", 65536.0,
+          [&] { scalar->xor_block(a.data(), b.data(), a.size()); });
+  }
 
   const std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{1024}
@@ -144,6 +156,57 @@ int main(int argc, char** argv) {
           });
   }
 
+  // Multi-row folds: the cache-blocked primitives (one tiled pass over the
+  // whole neighborhood, four sources per sub-pass) against the row-at-a-time
+  // loop they replaced. Rows are sized so the destination no longer fits in
+  // L1 alongside the streaming sources — the regime encoder/decoder packets
+  // occupy — making the destination-reload savings visible.
+  double rows_single_mbps = 0, rows_blocked_mbps = 0;
+  {
+    const std::size_t rows = 16;
+    const std::size_t bytes = quick ? 16384 : 65536;
+    const std::string tag =
+        std::to_string(rows) + "x" + std::to_string(bytes);
+    util::SymbolMatrix m(rows + 1, bytes);
+    m.fill_random(3);
+    const std::uint8_t* srcs[16];
+    kern::Gf256Ctx ctxs[16];
+    for (std::size_t i = 0; i < rows; ++i) {
+      srcs[i] = m.row(i + 1).data();
+      ctxs[i] = gf::GF256::mul_ctx(static_cast<gf::GF256::Element>(i + 2));
+    }
+    std::uint8_t* dst = m.row(0).data();
+    for (const kern::Isa isa : kTiers) {
+      const kern::Ops* ops = kern::ops_for(isa);
+      if (ops == nullptr) continue;
+      const double single =
+          h.run("xor_rows_single/" + tag, kern::isa_name(isa),
+                double(rows) * double(bytes), [&] {
+                  for (std::size_t i = 0; i < rows; ++i) {
+                    ops->xor_block(dst, srcs[i], bytes);
+                  }
+                });
+      const double blocked =
+          h.run("xor_rows_blocked/" + tag, kern::isa_name(isa),
+                double(rows) * double(bytes),
+                [&] { kern::xor_block_rows(*ops, dst, srcs, rows, bytes); });
+      if (isa == kern::active_isa()) {
+        rows_single_mbps = single;
+        rows_blocked_mbps = blocked;
+      }
+      h.run("gf256_fma_rows_single/" + tag, kern::isa_name(isa),
+            double(rows) * double(bytes), [&] {
+              for (std::size_t i = 0; i < rows; ++i) {
+                ops->gf256_fma(dst, srcs[i], bytes, ctxs[i]);
+              }
+            });
+      h.run("gf256_fma_rows_blocked/" + tag, kern::isa_name(isa),
+            double(rows) * double(bytes), [&] {
+              kern::gf256_fma_rows(*ops, dst, srcs, ctxs, rows, bytes);
+            });
+    }
+  }
+
   // End-to-end Tornado encode/decode (symbols/s matters here, so log both).
   {
     const std::size_t k = quick ? 256 : 1024;
@@ -191,12 +254,18 @@ int main(int argc, char** argv) {
     std::printf("gf256_fma_block 1 KB speedup vs scalar: %.2fx\n",
                 gf_best_1k / gf_scalar_1k);
   }
+  if (rows_single_mbps > 0 && rows_blocked_mbps > 0) {
+    std::printf("xor multi-row blocked vs row-at-a-time:  %.2fx\n",
+                rows_blocked_mbps / rows_single_mbps);
+  }
 
   bench::append_json(h.records);
 
   if (expect_simd && kern::active_isa() == kern::Isa::kScalar &&
       (kern::ops_for(kern::Isa::kSse2) != nullptr ||
        kern::ops_for(kern::Isa::kAvx2) != nullptr ||
+       kern::ops_for(kern::Isa::kAvx512) != nullptr ||
+       kern::ops_for(kern::Isa::kGfni) != nullptr ||
        kern::ops_for(kern::Isa::kNeon) != nullptr)) {
     std::fprintf(stderr,
                  "--expect-simd: a SIMD tier is available but the scalar "

@@ -3,7 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "kern/accumulator.hpp"
+#include "kern/kernels.hpp"
 
 namespace fountain::core {
 
@@ -128,14 +128,16 @@ void TornadoDataDecoder::trigger(std::size_t g) {
     if (target == nodes_.rows()) return;
     auto out = nodes_.row(target);
     std::memcpy(out.data(), nodes_.row(g).data(), bytes);
-    kern::XorAccumulator acc(out.data(), bytes);
+    gather_.clear();
     for (const std::uint32_t l : neighbors) {
       // Every non-target neighbour is known here (unknown_left == 1); a
       // duplicate edge to a known neighbour XORs twice and cancels, matching
       // the encoder.
-      if (left_off + l != target) acc.add(nodes_.row(left_off + l).data());
+      if (left_off + l != target) {
+        gather_.push_back(nodes_.row(left_off + l).data());
+      }
     }
-    acc.flush();
+    kern::xor_block_rows(out.data(), gather_.data(), gather_.size(), bytes);
     make_known_in_place(target);
   } else if (unknown_left_[slot] == 0) {
     // Rule (b): all neighbours known; the check's own value is their XOR —
@@ -151,10 +153,11 @@ void TornadoDataDecoder::trigger(std::size_t g) {
     } else {
       std::memcpy(out.data(), nodes_.row(left_off + neighbors[0]).data(),
                   bytes);
-      kern::XorAccumulator acc(out.data(), bytes);
+      gather_.clear();
       for (std::size_t i = 1; i < neighbors.size(); ++i) {
-        acc.add(nodes_.row(left_off + neighbors[i]).data());
+        gather_.push_back(nodes_.row(left_off + neighbors[i]).data());
       }
+      kern::xor_block_rows(out.data(), gather_.data(), gather_.size(), bytes);
     }
     make_known_in_place(g);
   }

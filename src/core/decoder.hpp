@@ -11,15 +11,15 @@
 //            recovers the entire last level.
 //
 // TornadoDataDecoder carries real payloads (the paper's client). Substitution
-// is deferred and batched: when a rule fires, the recovered packet is
-// computed as one gathered multi-source XOR over the check's known
-// neighbours (kern::XorAccumulator folds up to four sources per pass over
-// the destination). Each graph edge still costs exactly one P-byte XOR over
-// the whole decode — the (k+l) ln(1/eps) P bound of Table 1 — but with
-// ~d/4 destination passes per degree-d check instead of d, and no residual
-// matrix at all (node storage is halved versus the incremental-residual
-// design). TornadoStructuralDecoder runs the identical process on indices
-// alone and is
+// is deferred and batched: when a rule fires, the whole neighborhood is
+// gathered into a pointer list and folded by one cache-blocked multi-row
+// pass (kern::xor_block_rows — four sources per L1-resident destination
+// tile). Each graph edge still costs exactly one P-byte XOR over the whole
+// decode — the (k+l) ln(1/eps) P bound of Table 1 — but the destination
+// packet is read from L1 ~d/4 times per degree-d check instead of making d
+// round-trips, and there is no residual matrix at all (node storage is
+// halved versus the incremental-residual design). TornadoStructuralDecoder
+// runs the identical process on indices alone and is
 // what the receiver-population simulations use; decodability depends only on
 // which indices arrived, so the two agree by construction.
 //
@@ -75,6 +75,7 @@ class TornadoDataDecoder final : public fec::IncrementalDecoder {
   std::vector<std::uint8_t> parity_seen_;
   std::vector<std::uint32_t> pending_;       // newly-known nodes to propagate
   std::vector<std::uint32_t> dirty_checks_;  // checks needing re-evaluation
+  std::vector<const std::uint8_t*> gather_;  // substitution-source scratch
   std::size_t known_source_ = 0;
   std::size_t known_tail_ = 0;
   std::size_t parity_received_ = 0;

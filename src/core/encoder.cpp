@@ -2,8 +2,9 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
-#include "kern/accumulator.hpp"
+#include "kern/kernels.hpp"
 
 namespace fountain::core {
 
@@ -19,14 +20,17 @@ CascadeEncoder::CascadeEncoder(const Cascade& cascade,
 
   // Each check packet is the XOR of its left neighbours in the level graph:
   // initialize by copying the first neighbour (instead of zero-fill + XOR,
-  // which costs an extra full pass over the packet), then fold the remaining
-  // neighbours up to four at a time through the batching accumulator. Level
-  // 0 rows come from the borrowed source view, deeper rows from the check
-  // state filled by earlier iterations. Shapes were validated above, so this
-  // loop uses the unchecked kernels.
+  // which costs an extra full pass over the packet), then fold the whole
+  // remaining neighborhood in one cache-blocked multi-row pass — the
+  // destination tile stays L1-resident across every neighbour instead of
+  // being re-read once per source. Level 0 rows come from the borrowed
+  // source view, deeper rows from the check state filled by earlier
+  // iterations. Shapes were validated above, so this loop uses the unchecked
+  // kernels.
   const auto node_row = [&](std::size_t node) {
     return node < k ? source_.row(node) : checks_.row(node - k);
   };
+  std::vector<const std::uint8_t*> gather;
   for (std::size_t j = 0; j < cascade_.graph_count(); ++j) {
     const BipartiteGraph& g = cascade_.graph(j);
     const std::size_t left_off = cascade_.level_offset(j);
@@ -39,10 +43,11 @@ CascadeEncoder::CascadeEncoder(const Cascade& cascade,
         continue;
       }
       std::memcpy(out.data(), node_row(left_off + neighbors[0]).data(), bytes);
-      kern::XorAccumulator acc(out.data(), bytes);
+      gather.clear();
       for (std::size_t i = 1; i < neighbors.size(); ++i) {
-        acc.add(node_row(left_off + neighbors[i]).data());
+        gather.push_back(node_row(left_off + neighbors[i]).data());
       }
+      kern::xor_block_rows(out.data(), gather.data(), gather.size(), bytes);
     }
   }
 

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "kern/accumulator.hpp"
+#include "kern/kernels.hpp"
 
 namespace fountain::gf {
 
@@ -37,14 +37,17 @@ void cauchy_xor_fma(std::uint8_t* dst, const std::uint8_t* src,
   if (c == 0) return;
   const std::size_t seg = bytes / 8;
   const auto rows = bit_rows(c);
-  // Segment lengths are validated above; fold each output bit-row's masked
-  // input segments through the batching accumulator (up to 4 per pass).
+  // Segment lengths are validated above; gather each output bit-row's masked
+  // input segments (at most 8) and fold them in one cache-blocked multi-row
+  // pass.
   for (unsigned r = 0; r < 8; ++r) {
     const std::uint8_t mask = rows[r];
-    kern::XorAccumulator acc(dst + r * seg, seg);
+    const std::uint8_t* segs[8];
+    std::size_t count = 0;
     for (unsigned j = 0; j < 8; ++j) {
-      if (mask & (1u << j)) acc.add(src + j * seg);
+      if (mask & (1u << j)) segs[count++] = src + j * seg;
     }
+    kern::xor_block_rows(dst + r * seg, segs, count, seg);
   }
 }
 

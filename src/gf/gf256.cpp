@@ -38,6 +38,23 @@ GF256::Tables::Tables() {
       nib_hi[c][x] = mul[c][x << 4];
     }
   }
+
+  // Multiply-by-c as an 8x8 GF(2) bit-matrix: output bit r of c*x is
+  // parity(rows[r] & x) where bit j of rows[r] is bit r of c * x^j. Packed
+  // with rows[r] in byte 7-r, matching GF2P8AFFINEQB's row convention.
+  for (unsigned c = 0; c < 256; ++c) {
+    std::uint64_t matrix = 0;
+    for (unsigned r = 0; r < 8; ++r) {
+      std::uint8_t mask = 0;
+      for (unsigned j = 0; j < 8; ++j) {
+        if (mul[c][1u << j] & (1u << r)) {
+          mask |= static_cast<std::uint8_t>(1u << j);
+        }
+      }
+      matrix |= static_cast<std::uint64_t>(mask) << (8 * (7 - r));
+    }
+    affine[c] = matrix;
+  }
 }
 
 const GF256::Tables& GF256::tables() {
@@ -75,6 +92,29 @@ void GF256::fma_buffer(std::uint8_t* dst, const std::uint8_t* src,
 void GF256::scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c) {
   if (c == 1) return;
   kern::gf256_scale_block(dst, bytes, mul_ctx(c));
+}
+
+void GF256::fma_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                     const Element* coeffs, std::size_t count,
+                     std::size_t bytes) {
+  // Split the combination: coefficient-1 rows go through the plain XOR fold,
+  // the rest through the GF fma fold, both tiled. count <= kOrder by the RS
+  // shape contract, so fixed stack arrays suffice.
+  const std::uint8_t* xor_srcs[kOrder];
+  const std::uint8_t* fma_srcs[kOrder];
+  kern::Gf256Ctx ctxs[kOrder];
+  std::size_t nx = 0, nf = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (coeffs[i] == 0) continue;
+    if (coeffs[i] == 1) {
+      xor_srcs[nx++] = srcs[i];
+    } else {
+      fma_srcs[nf] = srcs[i];
+      ctxs[nf++] = mul_ctx(coeffs[i]);
+    }
+  }
+  kern::xor_block_rows(dst, xor_srcs, nx, bytes);
+  kern::gf256_fma_rows(dst, fma_srcs, ctxs, nf, bytes);
 }
 
 }  // namespace fountain::gf

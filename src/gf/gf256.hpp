@@ -31,19 +31,29 @@ class GF256 {
   static unsigned log(Element a);
 
   /// dst ^= c * src over the whole buffer. Routed through the dispatched
-  /// kern::gf256_fma_block (split-nibble PSHUFB/vqtbl1q on AVX2/NEON, full
-  /// 256-entry table lookup on scalar hosts).
+  /// kern::gf256_fma_block (GF2P8AFFINEQB on GFNI hosts, split-nibble
+  /// PSHUFB/vqtbl1q on AVX-512BW/AVX2/NEON, full 256-entry table lookup on
+  /// scalar hosts).
   static void fma_buffer(std::uint8_t* dst, const std::uint8_t* src,
                          std::size_t bytes, Element c);
   /// dst *= c over the whole buffer.
   static void scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c);
 
+  /// dst ^= sum_i coeffs[i] * srcs[i], all rows `bytes` long — the RS
+  /// row-synthesis primitive, routed through the cache-blocked
+  /// kern::gf256_fma_rows so the destination row stays L1-resident across
+  /// the whole linear combination. Zero coefficients are skipped; `count`
+  /// must not exceed kOrder (RS codes guarantee k + parity <= 256).
+  static void fma_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                       const Element* coeffs, std::size_t count,
+                       std::size_t bytes);
+
   /// The kernel-layer multiply context for constant `c`: the two 16-entry
-  /// split-nibble half-tables plus the full 256-entry row. Pointers stay
-  /// valid for the process lifetime.
+  /// split-nibble half-tables, the full 256-entry row, and the GFNI affine
+  /// bit-matrix. Pointers stay valid for the process lifetime.
   static kern::Gf256Ctx mul_ctx(Element c) {
     const Tables& t = tables();
-    return kern::Gf256Ctx{t.nib_lo[c], t.nib_hi[c], t.mul[c]};
+    return kern::Gf256Ctx{t.nib_lo[c], t.nib_hi[c], t.mul[c], t.affine[c]};
   }
 
  private:
@@ -58,6 +68,10 @@ class GF256 {
     // field multiply over GF(2).
     Element nib_lo[256][16];
     Element nib_hi[256][16];
+    // Multiply-by-c as a packed 8x8 GF(2) bit-matrix in GF2P8AFFINEQB's
+    // layout: byte 7-r is the mask of input bits whose parity gives output
+    // bit r. Consumed by the GFNI kernel tier via Gf256Ctx::affine.
+    std::uint64_t affine[256];
     Tables();
   };
   static const Tables& tables();

@@ -1,7 +1,10 @@
 #include "gf/gf65536.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "kern/kernels.hpp"
 
 namespace fountain::gf {
 
@@ -87,6 +90,22 @@ void GF65536::scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c) {
     if (w == 0) continue;
     w = t.exp[t.log[w] + logc];
     std::memcpy(dst + i, &w, 2);
+  }
+}
+
+void GF65536::fma_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                       const Element* coeffs, std::size_t count,
+                       std::size_t bytes) {
+  if (bytes % 2 != 0) {
+    throw std::invalid_argument("GF65536: buffer length must be even");
+  }
+  // kRowTileBytes is even, so every tile boundary preserves the 16-bit word
+  // grid fma_buffer requires.
+  for (std::size_t off = 0; off < bytes; off += kern::kRowTileBytes) {
+    const std::size_t len = std::min(kern::kRowTileBytes, bytes - off);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (coeffs[i] != 0) fma_buffer(dst + off, srcs[i] + off, len, coeffs[i]);
+    }
   }
 }
 

@@ -38,6 +38,15 @@ class GF65536 {
   /// dst *= c; bytes must be a multiple of 2.
   static void scale_buffer(std::uint8_t* dst, std::size_t bytes, Element c);
 
+  /// dst ^= sum_i coeffs[i] * srcs[i] — the same RS row-synthesis entry
+  /// point as GF256::fma_rows. GF(2^16) has no SIMD kernel tier, but the
+  /// fold is still cache-blocked so the destination row stays L1-resident
+  /// across the whole linear combination. Zero coefficients are skipped;
+  /// bytes must be a multiple of 2.
+  static void fma_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                       const Element* coeffs, std::size_t count,
+                       std::size_t bytes);
+
  private:
   struct Tables {
     // exp has 2*65535 entries so mul can index log[a]+log[b] without a mod.

@@ -95,6 +95,10 @@ class CauchyCodec {
   /// Views allow encoding straight out of / into row ranges of a larger
   /// matrix (the Tornado tail encodes `encoding` rows in place with no
   /// intermediate copies); SymbolMatrix arguments convert implicitly.
+  /// Parity-row-major: each parity symbol is produced by one multi-row pass
+  /// over all k sources (generator rows are contiguous, so they feed
+  /// Field::fma_rows directly) — the destination tile stays L1-resident
+  /// across the whole neighborhood instead of being re-read k times.
   void encode(util::ConstSymbolView source, util::SymbolView parity_out) const {
     if (source.rows() != k_ || parity_out.rows() != parity_ ||
         source.symbol_size() != parity_out.symbol_size() ||
@@ -102,12 +106,11 @@ class CauchyCodec {
       throw std::invalid_argument("CauchyCodec: shape mismatch");
     }
     parity_out.fill_zero();
-    for (std::size_t j = 0; j < k_; ++j) {
-      const auto src = source.row(j);
-      for (std::size_t i = 0; i < parity_; ++i) {
-        Field::fma_buffer(parity_out.row(i).data(), src.data(), src.size(),
-                          gen_.at(i, j));
-      }
+    std::vector<const std::uint8_t*> srcs(k_);
+    for (std::size_t j = 0; j < k_; ++j) srcs[j] = source.row(j).data();
+    for (std::size_t i = 0; i < parity_; ++i) {
+      Field::fma_rows(parity_out.row(i).data(), srcs.data(), gen_.row(i), k_,
+                      source.symbol_size());
     }
   }
 
@@ -119,11 +122,10 @@ class CauchyCodec {
       throw std::invalid_argument("CauchyCodec: symbol alignment");
     }
     std::fill(out.begin(), out.end(), 0);
-    for (std::size_t j = 0; j < k_; ++j) {
-      const auto src = source.row(j);
-      Field::fma_buffer(out.data(), src.data(), src.size(),
-                        gen_.at(parity_row, j));
-    }
+    std::vector<const std::uint8_t*> srcs(k_);
+    for (std::size_t j = 0; j < k_; ++j) srcs[j] = source.row(j).data();
+    Field::fma_rows(out.data(), srcs.data(), gen_.row(parity_row), k_,
+                    source.symbol_size());
   }
 
   /// Reconstructs missing source rows in place; see VandermondeCodec::decode
@@ -157,22 +159,34 @@ class CauchyCodec {
       ys[r] = static_cast<Element>(k_ + pidx);
       util::xor_into(rhs.row(r), pdata);
     }
+    // rhs_r -= known-source contributions: one multi-row pass per parity row
+    // over every known source (coefficients gathered from the generator).
+    std::vector<const std::uint8_t*> known_srcs;
+    std::vector<std::uint32_t> known_cols;
+    known_srcs.reserve(k_ - x);
+    known_cols.reserve(k_ - x);
     for (std::size_t j = 0; j < k_; ++j) {
       if (!have_source[j]) continue;
-      const auto src = source.row(j);
-      for (std::size_t r = 0; r < x; ++r) {
-        Field::fma_buffer(rhs.row(r).data(), src.data(), bytes,
-                          gen_.at(parity[r].first, j));
+      known_srcs.push_back(source.row(j).data());
+      known_cols.push_back(static_cast<std::uint32_t>(j));
+    }
+    std::vector<Element> coeffs(known_srcs.size());
+    for (std::size_t r = 0; r < x; ++r) {
+      const auto* gen_row = gen_.row(parity[r].first);
+      for (std::size_t t = 0; t < known_cols.size(); ++t) {
+        coeffs[t] = gen_row[known_cols[t]];
       }
+      Field::fma_rows(rhs.row(r).data(), known_srcs.data(), coeffs.data(),
+                      known_srcs.size(), bytes);
     }
 
     const Matrix<Field> inv = cauchy_inverse<Field>(xs, ys);
+    std::vector<const std::uint8_t*> rhs_rows(x);
+    for (std::size_t r = 0; r < x; ++r) rhs_rows[r] = rhs.row(r).data();
     for (std::size_t c = 0; c < x; ++c) {
       auto dst = source.row(missing[c]);
       std::fill(dst.begin(), dst.end(), 0);
-      for (std::size_t r = 0; r < x; ++r) {
-        Field::fma_buffer(dst.data(), rhs.row(r).data(), bytes, inv.at(c, r));
-      }
+      Field::fma_rows(dst.data(), rhs_rows.data(), inv.row(c), x, bytes);
     }
   }
 

@@ -47,15 +47,17 @@ class VandermondeCodec {
 
   /// Computes all parity symbols from the full source block. Takes views so
   /// callers can encode sub-ranges of a larger matrix in place.
+  /// Parity-row-major: one cache-blocked multi-row pass per parity symbol
+  /// over all k sources (generator rows are contiguous, so they feed
+  /// Field::fma_rows directly).
   void encode(util::ConstSymbolView source, util::SymbolView parity_out) const {
     check_shapes(source, parity_out);
     parity_out.fill_zero();
-    for (std::size_t j = 0; j < k_; ++j) {
-      const auto src = source.row(j);
-      for (std::size_t i = 0; i < parity_; ++i) {
-        Field::fma_buffer(parity_out.row(i).data(), src.data(), src.size(),
-                          gen_.at(i, j));
-      }
+    std::vector<const std::uint8_t*> srcs(k_);
+    for (std::size_t j = 0; j < k_; ++j) srcs[j] = source.row(j).data();
+    for (std::size_t i = 0; i < parity_; ++i) {
+      Field::fma_rows(parity_out.row(i).data(), srcs.data(), gen_.row(i), k_,
+                      source.symbol_size());
     }
   }
 
@@ -67,11 +69,10 @@ class VandermondeCodec {
       throw std::invalid_argument("VandermondeCodec: symbol alignment");
     }
     std::fill(out.begin(), out.end(), 0);
-    for (std::size_t j = 0; j < k_; ++j) {
-      const auto src = source.row(j);
-      Field::fma_buffer(out.data(), src.data(), src.size(),
-                        gen_.at(parity_row, j));
-    }
+    std::vector<const std::uint8_t*> srcs(k_);
+    for (std::size_t j = 0; j < k_; ++j) srcs[j] = source.row(j).data();
+    Field::fma_rows(out.data(), srcs.data(), gen_.row(parity_row), k_,
+                    source.symbol_size());
   }
 
   /// Reconstructs the missing source rows of `source` in place.
@@ -105,22 +106,34 @@ class VandermondeCodec {
         m.at(r, c) = gen_.at(pidx, missing[c]);
       }
     }
+    // rhs_r -= known-source contributions: one multi-row pass per parity row
+    // over every known source (coefficients gathered from the generator).
+    std::vector<const std::uint8_t*> known_srcs;
+    std::vector<std::uint32_t> known_cols;
+    known_srcs.reserve(k_ - x);
+    known_cols.reserve(k_ - x);
     for (std::size_t j = 0; j < k_; ++j) {
       if (!have_source[j]) continue;
-      const auto src = source.row(j);
-      for (std::size_t r = 0; r < x; ++r) {
-        Field::fma_buffer(rhs.row(r).data(), src.data(), bytes,
-                          gen_.at(parity[r].first, j));
+      known_srcs.push_back(source.row(j).data());
+      known_cols.push_back(static_cast<std::uint32_t>(j));
+    }
+    std::vector<Element> coeffs(known_srcs.size());
+    for (std::size_t r = 0; r < x; ++r) {
+      const auto* gen_row = gen_.row(parity[r].first);
+      for (std::size_t t = 0; t < known_cols.size(); ++t) {
+        coeffs[t] = gen_row[known_cols[t]];
       }
+      Field::fma_rows(rhs.row(r).data(), known_srcs.data(), coeffs.data(),
+                      known_srcs.size(), bytes);
     }
 
     const Matrix<Field> minv = m.inverted();
+    std::vector<const std::uint8_t*> rhs_rows(x);
+    for (std::size_t r = 0; r < x; ++r) rhs_rows[r] = rhs.row(r).data();
     for (std::size_t c = 0; c < x; ++c) {
       auto dst = source.row(missing[c]);
       std::fill(dst.begin(), dst.end(), 0);
-      for (std::size_t r = 0; r < x; ++r) {
-        Field::fma_buffer(dst.data(), rhs.row(r).data(), bytes, minv.at(c, r));
-      }
+      Field::fma_rows(dst.data(), rhs_rows.data(), minv.row(c), x, bytes);
     }
   }
 

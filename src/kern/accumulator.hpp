@@ -1,9 +1,12 @@
 // Batching XOR accumulator: queues source buffers destined for one output
-// buffer and folds them with the widest multi-source kernel available
-// (xor_block_4/3/2), so a degree-d fold reads dst ~d/4 times instead of d.
-// Used by the Tornado encoder (check = XOR of its neighbours) and the
-// decoder's substitution path (recovered packet = check XOR known
-// neighbours).
+// buffer and folds them through the cache-blocked multi-row primitive
+// (xor_block_rows), which walks the destination in L1-sized tiles and folds
+// four sources per pass — so a degree-d fold costs ~d/4 L1-resident
+// destination passes and exactly one pass over each source, instead of d
+// full destination round-trips. This is the batching entry point for the
+// Tornado encoder (check = XOR of its neighbours), the decoder's gathered
+// substitution path (recovered packet = check XOR known neighbours), and the
+// Cauchy bit-matrix kernel.
 //
 // Contract: all queued sources must be exactly `bytes` long and must remain
 // valid and unmodified until flush(); no size checks are performed (this is
@@ -19,6 +22,11 @@ namespace fountain::kern {
 
 class XorAccumulator {
  public:
+  /// Sources buffered per flush. 16 rows of kRowTileBytes plus the
+  /// destination tile stay within a typical 1 MB L2 even at the largest
+  /// symbol sizes; deeper batches would add latency without saving traffic.
+  static constexpr std::size_t kBatch = 16;
+
   XorAccumulator(std::uint8_t* dst, std::size_t bytes)
       : dst_(dst), bytes_(bytes) {}
 
@@ -30,36 +38,20 @@ class XorAccumulator {
 
   void add(const std::uint8_t* src) {
     pending_[count_++] = src;
-    if (count_ == 4) flush();
+    if (count_ == kBatch) flush();
   }
 
   /// Folds any queued sources into dst; safe to call repeatedly.
   void flush() {
-    switch (count_) {
-      case 0:
-        break;
-      case 1:
-        xor_block(dst_, pending_[0], bytes_);
-        break;
-      case 2:
-        xor_block_2(dst_, pending_[0], pending_[1], bytes_);
-        break;
-      case 3:
-        xor_block_3(dst_, pending_[0], pending_[1], pending_[2], bytes_);
-        break;
-      default:
-        xor_block_4(dst_, pending_[0], pending_[1], pending_[2], pending_[3],
-                    bytes_);
-        break;
-    }
+    xor_block_rows(dst_, pending_, count_, bytes_);
     count_ = 0;
   }
 
  private:
   std::uint8_t* dst_;
   std::size_t bytes_;
-  const std::uint8_t* pending_[4] = {};
-  unsigned count_ = 0;
+  const std::uint8_t* pending_[kBatch] = {};
+  std::size_t count_ = 0;
 };
 
 }  // namespace fountain::kern

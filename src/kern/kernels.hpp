@@ -4,11 +4,21 @@
 // behind the Reed-Solomon codes, run as wide as the host allows.
 //
 // Dispatch: an implementation table (`Ops`) per instruction-set tier —
-// AVX2 -> SSE2 -> scalar on x86-64, NEON -> scalar on AArch64 — selected
-// once on first use (cpuid via __builtin_cpu_supports) and cached in a
-// function-pointer table. `FOUNTAIN_FORCE_SCALAR=1` (or
-// `FOUNTAIN_FORCE_ISA=scalar|sse2|avx2|neon`) overrides selection at process
-// start; `set_isa_override` does the same programmatically for tests.
+// GFNI -> AVX-512BW -> AVX2 -> SSE2 -> scalar on x86-64, NEON -> scalar on
+// AArch64 — selected once on first use (cpuid, with an XCR0 check for the
+// 512-bit tiers so a kernel that disables ZMM state is respected) and cached
+// in a function-pointer table. `FOUNTAIN_FORCE_SCALAR=1` (or
+// `FOUNTAIN_FORCE_ISA=scalar|sse2|avx2|avx512|gfni|neon`) overrides selection
+// at process start; `set_isa_override` does the same programmatically for
+// tests. Forcing a tier the host lacks falls through to auto-selection.
+//
+// On top of the per-tier single-destination kernels, this header exposes the
+// cache-blocked multi-row primitives `xor_block_rows` / `gf256_fma_rows`:
+// they fold an arbitrary number of source rows into one destination, tiled
+// in `kRowTileBytes` chunks so the destination tile stays L1-resident across
+// all sources instead of being re-read from L2/DRAM once per source. These
+// are the batching entry points for whole check-packet neighborhoods
+// (encoder), gathered substitution (decoder), and RS row synthesis.
 //
 // Contracts (all entry points): buffers are raw byte ranges of exactly
 // `n` bytes; NO size or alignment checks are performed — callers validate
@@ -23,7 +33,7 @@
 
 namespace fountain::kern {
 
-enum class Isa { kScalar, kSse2, kAvx2, kNeon };
+enum class Isa { kScalar, kSse2, kAvx2, kAvx512, kGfni, kNeon };
 
 const char* isa_name(Isa isa);
 
@@ -31,12 +41,18 @@ const char* isa_name(Isa isa);
 /// `hi[x] = c * (x << 4)` for x in [0, 16) are the two PSHUFB/vqtbl1q
 /// half-tables of the split-nibble technique (Plank et al. / ISA-L);
 /// `full[x] = c * x` for x in [0, 256) serves the scalar path and tails.
-/// All three point into tables owned by gf::GF256 and stay valid for the
+/// `affine` is the same multiply as an 8x8 GF(2) bit-matrix packed for
+/// GF2P8AFFINEQB (byte 7-r holds the input-bit mask producing output bit r),
+/// which lets the GFNI tier evaluate 64 products per instruction — in OUR
+/// field (0x11D): the affine form works for any GF(2^8) modulus, unlike
+/// GF2P8MULB which is hardwired to the AES polynomial 0x11B.
+/// The pointers reference tables owned by gf::GF256 and stay valid for the
 /// process lifetime.
 struct Gf256Ctx {
   const std::uint8_t* lo;
   const std::uint8_t* hi;
   const std::uint8_t* full;
+  std::uint64_t affine;
 };
 
 /// One implementation tier: every kernel the layer exposes, as plain
@@ -103,6 +119,39 @@ inline void gf256_fma_block(std::uint8_t* dst, const std::uint8_t* src,
 inline void gf256_scale_block(std::uint8_t* dst, std::size_t n,
                               const Gf256Ctx& ctx) {
   ops().gf256_scale(dst, n, ctx);
+}
+
+// ---- Cache-blocked multi-row primitives (kernels_rows.cpp) ----
+
+/// Tile width of the multi-row fold: the destination tile (4 KB) plus four
+/// streaming source tiles fit comfortably in a 32 KB L1D, so a degree-d fold
+/// touches main memory once per source row and once for the destination
+/// regardless of d or row length. Rows at or below this size degenerate to
+/// the un-tiled group fold with zero overhead.
+inline constexpr std::size_t kRowTileBytes = 4096;
+
+/// dst ^= srcs[0] ^ srcs[1] ^ ... ^ srcs[count-1], all rows exactly `n`
+/// bytes. Folds four sources per pass over each destination tile via the
+/// tier's xor_block_4/3/2. Duplicate source pointers are permitted (they
+/// cancel pairwise); dst must not overlap any source except exact equality.
+void xor_block_rows(const Ops& ops, std::uint8_t* dst,
+                    const std::uint8_t* const* srcs, std::size_t count,
+                    std::size_t n);
+
+/// dst ^= sum_i ctxs[i] * srcs[i] over GF(2^8), tiled like xor_block_rows so
+/// the destination tile is read and written from L1 once per source row.
+void gf256_fma_rows(const Ops& ops, std::uint8_t* dst,
+                    const std::uint8_t* const* srcs, const Gf256Ctx* ctxs,
+                    std::size_t count, std::size_t n);
+
+inline void xor_block_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                           std::size_t count, std::size_t n) {
+  xor_block_rows(ops(), dst, srcs, count, n);
+}
+inline void gf256_fma_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                           const Gf256Ctx* ctxs, std::size_t count,
+                           std::size_t n) {
+  gf256_fma_rows(ops(), dst, srcs, ctxs, count, n);
 }
 
 }  // namespace fountain::kern

@@ -1,0 +1,138 @@
+// AVX-512BW tier. This translation unit is compiled with
+// -mavx512f -mavx512bw (see the top-level CMakeLists.txt) and must only be
+// entered after the dispatcher has confirmed AVX-512BW *and* OS ZMM state
+// via cpuid + XCR0 — nothing here may be called otherwise.
+//
+// XOR: 64-byte lanes, two accumulators per iteration. GF(2^8): the same
+// split-nibble technique as the AVX2 tier, widened to VPSHUFB on ZMM
+// (AVX-512BW provides the byte shuffle; each 128-bit lane performs the
+// 16-way half-table lookup), evaluating 64 byte products per instruction
+// pair. Hosts that also have GFNI get the stronger kGfni tier instead —
+// VBMI's VPERMB offers no win here because the lookup tables are only 16
+// entries, well within a single VPSHUFB lane.
+#include "kern/kernels_impl.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace fountain::kern::detail {
+
+namespace {
+
+inline __m512i load(const std::uint8_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store(std::uint8_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+void xor1(std::uint8_t* dst, const std::uint8_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    store(dst + i, _mm512_xor_si512(load(dst + i), load(a + i)));
+    store(dst + i + 64,
+          _mm512_xor_si512(load(dst + i + 64), load(a + i + 64)));
+  }
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i, _mm512_xor_si512(load(dst + i), load(a + i)));
+  }
+  if (i < n) scalar_xor(dst + i, a + i, n - i);
+}
+
+void xor2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i,
+          _mm512_xor_si512(load(dst + i),
+                           _mm512_xor_si512(load(a + i), load(b + i))));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor3(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i ab = _mm512_xor_si512(load(a + i), load(b + i));
+    store(dst + i, _mm512_xor_si512(load(dst + i),
+                                    _mm512_xor_si512(ab, load(c + i))));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i]);
+}
+
+void xor4(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, const std::uint8_t* d, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i ab = _mm512_xor_si512(load(a + i), load(b + i));
+    const __m512i cd = _mm512_xor_si512(load(c + i), load(d + i));
+    store(dst + i, _mm512_xor_si512(load(dst + i), _mm512_xor_si512(ab, cd)));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i]);
+  }
+}
+
+/// Broadcasts a 16-entry half-table into all four 128-bit lanes. The maskz
+/// form (full mask) is used instead of the plain intrinsic because GCC's
+/// unmasked variant merges into _mm512_undefined_epi32 and trips
+/// -Wuninitialized; the generated instruction is identical.
+inline __m512i half_table(const std::uint8_t* t) {
+  return _mm512_maskz_broadcast_i32x4(
+      static_cast<__mmask16>(-1),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t)));
+}
+
+/// prod[j] = ctx.lo[x_j & 0xf] ^ ctx.hi[x_j >> 4] for the 64 bytes of x.
+inline __m512i gf_mul64(__m512i x, __m512i lo_tbl, __m512i hi_tbl,
+                        __m512i nib_mask) {
+  const __m512i lo = _mm512_and_si512(x, nib_mask);
+  const __m512i hi = _mm512_and_si512(
+      _mm512_maskz_srli_epi64(static_cast<__mmask8>(-1), x, 4), nib_mask);
+  return _mm512_xor_si512(_mm512_shuffle_epi8(lo_tbl, lo),
+                          _mm512_shuffle_epi8(hi_tbl, hi));
+}
+
+void gf256_fma(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+               const Gf256Ctx& ctx) {
+  const __m512i lo_tbl = half_table(ctx.lo);
+  const __m512i hi_tbl = half_table(ctx.hi);
+  const __m512i nib_mask = _mm512_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i prod = gf_mul64(load(src + i), lo_tbl, hi_tbl, nib_mask);
+    store(dst + i, _mm512_xor_si512(load(dst + i), prod));
+  }
+  if (i < n) scalar_gf256_fma(dst + i, src + i, n - i, ctx);
+}
+
+void gf256_scale(std::uint8_t* dst, std::size_t n, const Gf256Ctx& ctx) {
+  const __m512i lo_tbl = half_table(ctx.lo);
+  const __m512i hi_tbl = half_table(ctx.hi);
+  const __m512i nib_mask = _mm512_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i, gf_mul64(load(dst + i), lo_tbl, hi_tbl, nib_mask));
+  }
+  if (i < n) scalar_gf256_scale(dst + i, n - i, ctx);
+}
+
+constexpr Ops kOps = {Isa::kAvx512, &xor1,      &xor2,        &xor3,
+                      &xor4,        &gf256_fma, &gf256_scale};
+
+}  // namespace
+
+const Ops* avx512_ops() { return &kOps; }
+
+}  // namespace fountain::kern::detail
+
+#else  // built without AVX-512BW support
+
+namespace fountain::kern::detail {
+const Ops* avx512_ops() { return nullptr; }
+}  // namespace fountain::kern::detail
+
+#endif

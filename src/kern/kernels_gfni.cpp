@@ -1,0 +1,131 @@
+// GFNI tier (GFNI + AVX-512BW, 64-byte lanes). Compiled with
+// -mgfni -mavx512f -mavx512bw; entered only after the dispatcher has
+// confirmed both features plus OS ZMM state.
+//
+// GF(2^8): VGF2P8AFFINEQB applies an arbitrary 8x8 GF(2) bit-matrix to every
+// byte of a ZMM register. Multiplication by a constant c is GF(2)-linear in
+// ANY GF(2^8) representation, so the per-constant matrix (precomputed in
+// gf::GF256's tables as Gf256Ctx::affine) evaluates 64 products of our
+// 0x11D field per instruction — one instruction where the split-nibble
+// technique needs five, and with no table broadcasts in the loop. Note
+// GF2P8MULB is NOT usable here: it is hardwired to the AES polynomial 0x11B.
+//
+// XOR has no GFNI form; the 64-byte XOR kernels mirror the AVX-512BW tier so
+// that forcing `FOUNTAIN_FORCE_ISA=gfni` exercises a complete table.
+//
+// Hosts with VEX-only GFNI (no AVX-512, e.g. Alder Lake) fall back to the
+// AVX2 tier; the affine path is worth a dedicated VEX variant only if such
+// hosts show up in practice.
+#include "kern/kernels_impl.hpp"
+
+#if defined(__GFNI__) && defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace fountain::kern::detail {
+
+namespace {
+
+inline __m512i load(const std::uint8_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store(std::uint8_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+void xor1(std::uint8_t* dst, const std::uint8_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    store(dst + i, _mm512_xor_si512(load(dst + i), load(a + i)));
+    store(dst + i + 64,
+          _mm512_xor_si512(load(dst + i + 64), load(a + i + 64)));
+  }
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i, _mm512_xor_si512(load(dst + i), load(a + i)));
+  }
+  if (i < n) scalar_xor(dst + i, a + i, n - i);
+}
+
+void xor2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i,
+          _mm512_xor_si512(load(dst + i),
+                           _mm512_xor_si512(load(a + i), load(b + i))));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+void xor3(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i ab = _mm512_xor_si512(load(a + i), load(b + i));
+    store(dst + i, _mm512_xor_si512(load(dst + i),
+                                    _mm512_xor_si512(ab, load(c + i))));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i]);
+}
+
+void xor4(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+          const std::uint8_t* c, const std::uint8_t* d, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i ab = _mm512_xor_si512(load(a + i), load(b + i));
+    const __m512i cd = _mm512_xor_si512(load(c + i), load(d + i));
+    store(dst + i, _mm512_xor_si512(load(dst + i), _mm512_xor_si512(ab, cd)));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= static_cast<std::uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i]);
+  }
+}
+
+void gf256_fma(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+               const Gf256Ctx& ctx) {
+  const __m512i matrix =
+      _mm512_set1_epi64(static_cast<long long>(ctx.affine));
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    const __m512i p0 =
+        _mm512_gf2p8affine_epi64_epi8(load(src + i), matrix, 0);
+    const __m512i p1 =
+        _mm512_gf2p8affine_epi64_epi8(load(src + i + 64), matrix, 0);
+    store(dst + i, _mm512_xor_si512(load(dst + i), p0));
+    store(dst + i + 64, _mm512_xor_si512(load(dst + i + 64), p1));
+  }
+  for (; i + 64 <= n; i += 64) {
+    const __m512i prod =
+        _mm512_gf2p8affine_epi64_epi8(load(src + i), matrix, 0);
+    store(dst + i, _mm512_xor_si512(load(dst + i), prod));
+  }
+  if (i < n) scalar_gf256_fma(dst + i, src + i, n - i, ctx);
+}
+
+void gf256_scale(std::uint8_t* dst, std::size_t n, const Gf256Ctx& ctx) {
+  const __m512i matrix =
+      _mm512_set1_epi64(static_cast<long long>(ctx.affine));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    store(dst + i, _mm512_gf2p8affine_epi64_epi8(load(dst + i), matrix, 0));
+  }
+  if (i < n) scalar_gf256_scale(dst + i, n - i, ctx);
+}
+
+constexpr Ops kOps = {Isa::kGfni, &xor1,      &xor2,        &xor3,
+                      &xor4,      &gf256_fma, &gf256_scale};
+
+}  // namespace
+
+const Ops* gfni_ops() { return &kOps; }
+
+}  // namespace fountain::kern::detail
+
+#else  // built without GFNI/AVX-512 support
+
+namespace fountain::kern::detail {
+const Ops* gfni_ops() { return nullptr; }
+}  // namespace fountain::kern::detail
+
+#endif

@@ -11,6 +11,8 @@ namespace fountain::kern::detail {
 const Ops& scalar_ops();   // always available
 const Ops* sse2_ops();     // x86-64 only (SSE2 is the x86-64 baseline)
 const Ops* avx2_ops();     // x86-64 built with -mavx2; needs runtime cpuid
+const Ops* avx512_ops();   // x86-64 built with -mavx512bw; cpuid + XCR0
+const Ops* gfni_ops();     // x86-64 built with -mgfni -mavx512bw; cpuid+XCR0
 const Ops* neon_ops();     // AArch64 only
 
 // Shared scalar helpers, also used by the SIMD tiers for sub-register tails.

@@ -1,0 +1,166 @@
+// End-to-end tests for tools/bench_diff, the CI perf-regression gate: the
+// real binary (path injected as BENCH_DIFF_BIN by CMake) is run against
+// synthetic baseline/current JSON-lines files and judged purely on its exit
+// code — exactly how CI consumes it. Covers the pass case, a genuine >10%
+// regression, a whole-host slowdown absorbed by the calibration record, and
+// the configuration errors (stale schema, missing calibration) that must
+// fail closed with exit 2.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+/// One JSON record in the bench_common.hpp v2 layout.
+std::string record(const std::string& name, const std::string& kernel,
+                   double mb_per_s, int schema = 2) {
+  return "{\"schema\":" + std::to_string(schema) + ",\"bench\":\"t\",\"name\":\"" +
+         name + "\",\"kernel\":\"" + kernel +
+         "\",\"seconds\":0.001,\"mb_per_s\":" + std::to_string(mb_per_s) +
+         ",\"symbols_per_s\":0,\"value\":0}\n";
+}
+
+std::string calibration(double mb_per_s, int schema = 2) {
+  return record("calibration/xor64k", "scalar", mb_per_s, schema);
+}
+
+std::string write_file(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream f(path);
+  f << content;
+  return path;
+}
+
+/// Runs bench_diff and returns its exit code (-1 if it did not exit
+/// normally).
+int run_diff(const std::string& baseline, const std::string& current) {
+  const std::string cmd = std::string(BENCH_DIFF_BIN) + " --baseline " +
+                          baseline + " --current " + current +
+                          " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+#if defined(_WIN32)
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+TEST(BenchDiff, IdenticalFilesPass) {
+  const std::string content = calibration(1000) +
+                              record("xor_block/1024", "avx2", 5000) +
+                              record("tornado_encode/k=256", "tornado_a", 300);
+  const auto base = write_file("bd_identical_base.json", content);
+  const auto cur = write_file("bd_identical_cur.json", content);
+  EXPECT_EQ(run_diff(base, cur), 0);
+}
+
+TEST(BenchDiff, RegressionFails) {
+  // 20% drop on one gated record with an unchanged calibration -> exit 1.
+  const auto base = write_file("bd_reg_base.json",
+                               calibration(1000) +
+                                   record("xor_block/1024", "avx2", 5000) +
+                                   record("gf256_fma_block/1024", "avx2", 800));
+  const auto cur = write_file("bd_reg_cur.json",
+                              calibration(1000) +
+                                  record("xor_block/1024", "avx2", 4000) +
+                                  record("gf256_fma_block/1024", "avx2", 800));
+  EXPECT_EQ(run_diff(base, cur), 1);
+}
+
+TEST(BenchDiff, SmallFluctuationPasses) {
+  // 5% is within the 10% threshold.
+  const auto base = write_file("bd_noise_base.json",
+                               calibration(1000) +
+                                   record("xor_block/1024", "avx2", 5000));
+  const auto cur = write_file("bd_noise_cur.json",
+                              calibration(1000) +
+                                  record("xor_block/1024", "avx2", 4750));
+  EXPECT_EQ(run_diff(base, cur), 0);
+}
+
+TEST(BenchDiff, HostSlowdownAbsorbedByCalibration) {
+  // The whole current run is 2x slower — calibration included — as on a
+  // throttled CI machine. Normalization must absorb it.
+  const auto base = write_file("bd_host_base.json",
+                               calibration(1000) +
+                                   record("xor_block/1024", "avx2", 5000) +
+                                   record("decode/k=1024", "tornado_a", 900));
+  const auto cur = write_file("bd_host_cur.json",
+                              calibration(500) +
+                                  record("xor_block/1024", "avx2", 2500) +
+                                  record("decode/k=1024", "tornado_a", 450));
+  EXPECT_EQ(run_diff(base, cur), 0);
+}
+
+TEST(BenchDiff, HostScaleDoesNotMaskRealRegression) {
+  // Host is 2x slower AND the kernel lost another 20% on top.
+  const auto base = write_file("bd_hostreg_base.json",
+                               calibration(1000) +
+                                   record("xor_block/1024", "avx2", 5000));
+  const auto cur = write_file("bd_hostreg_cur.json",
+                              calibration(500) +
+                                  record("xor_block/1024", "avx2", 2000));
+  EXPECT_EQ(run_diff(base, cur), 1);
+}
+
+TEST(BenchDiff, StaleSchemaIsConfigError) {
+  const auto base = write_file("bd_schema_base.json",
+                               calibration(1000, 1) +
+                                   record("xor_block/1024", "avx2", 5000, 1));
+  const auto cur = write_file("bd_schema_cur.json",
+                              calibration(1000) +
+                                  record("xor_block/1024", "avx2", 5000));
+  EXPECT_EQ(run_diff(base, cur), 2);
+}
+
+TEST(BenchDiff, MissingCalibrationIsConfigError) {
+  const auto base = write_file("bd_nocal_base.json",
+                               record("xor_block/1024", "avx2", 5000));
+  const auto cur = write_file("bd_nocal_cur.json",
+                              calibration(1000) +
+                                  record("xor_block/1024", "avx2", 5000));
+  EXPECT_EQ(run_diff(base, cur), 2);
+}
+
+TEST(BenchDiff, MissingCurrentRecordWarnsButPasses) {
+  // A tier present in the baseline but absent on this host (e.g. GFNI) must
+  // not fail the gate.
+  const auto base = write_file("bd_missing_base.json",
+                               calibration(1000) +
+                                   record("xor_block/1024", "gfni", 9000) +
+                                   record("xor_block/1024", "avx2", 5000));
+  const auto cur = write_file("bd_missing_cur.json",
+                              calibration(1000) +
+                                  record("xor_block/1024", "avx2", 5000));
+  EXPECT_EQ(run_diff(base, cur), 0);
+}
+
+TEST(BenchDiff, UngatedValueRecordsAreIgnored) {
+  // Efficiency records carry mb_per_s = 0; halving `value` is not a
+  // throughput regression and must not trip the gate.
+  const std::string eff =
+      "{\"schema\":2,\"bench\":\"t\",\"name\":\"fig4/efficiency\","
+      "\"kernel\":\"tornado_a\",\"seconds\":0,\"mb_per_s\":0,"
+      "\"symbols_per_s\":0,\"value\":0.9}\n";
+  const std::string eff_worse =
+      "{\"schema\":2,\"bench\":\"t\",\"name\":\"fig4/efficiency\","
+      "\"kernel\":\"tornado_a\",\"seconds\":0,\"mb_per_s\":0,"
+      "\"symbols_per_s\":0,\"value\":0.45}\n";
+  const auto base = write_file("bd_value_base.json",
+                               calibration(1000) +
+                                   record("xor_block/1024", "avx2", 5000) +
+                                   eff);
+  const auto cur = write_file("bd_value_cur.json",
+                              calibration(1000) +
+                                  record("xor_block/1024", "avx2", 5000) +
+                                  eff_worse);
+  EXPECT_EQ(run_diff(base, cur), 0);
+}
+
+}  // namespace

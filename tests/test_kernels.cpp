@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "gf/gf256.hpp"
+#include "gf/gf65536.hpp"
 #include "kern/accumulator.hpp"
 #include "kern/kernels.hpp"
 #include "util/random.hpp"
@@ -30,9 +32,18 @@ const std::vector<std::size_t> kOffsets = {0, 1, 3};
 std::vector<kern::Isa> simd_tiers() {
   std::vector<kern::Isa> tiers;
   for (const kern::Isa isa :
-       {kern::Isa::kSse2, kern::Isa::kAvx2, kern::Isa::kNeon}) {
+       {kern::Isa::kSse2, kern::Isa::kAvx2, kern::Isa::kAvx512,
+        kern::Isa::kGfni, kern::Isa::kNeon}) {
     if (kern::ops_for(isa) != nullptr) tiers.push_back(isa);
   }
+  return tiers;
+}
+
+/// Every available tier including scalar (multi-row tiling is tier-neutral
+/// code, so it must be exercised over the scalar Ops table too).
+std::vector<kern::Isa> all_tiers() {
+  std::vector<kern::Isa> tiers = simd_tiers();
+  tiers.push_back(kern::Isa::kScalar);
   return tiers;
 }
 
@@ -53,6 +64,8 @@ TEST(Kernels, IsaNamesAreStable) {
   EXPECT_STREQ(kern::isa_name(kern::Isa::kScalar), "scalar");
   EXPECT_STREQ(kern::isa_name(kern::Isa::kSse2), "sse2");
   EXPECT_STREQ(kern::isa_name(kern::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(kern::isa_name(kern::Isa::kAvx512), "avx512");
+  EXPECT_STREQ(kern::isa_name(kern::Isa::kGfni), "gfni");
   EXPECT_STREQ(kern::isa_name(kern::Isa::kNeon), "neon");
 }
 
@@ -162,9 +175,23 @@ TEST(Kernels, Gf256FmaDifferential) {
   }
 }
 
+/// Applies a GF2P8AFFINEQB-layout 8x8 bit matrix to one byte in scalar code:
+/// result bit r is the parity of (matrix byte 7-r AND x) — the Intel SDM
+/// semantics the GFNI tier relies on.
+std::uint8_t affine_apply(std::uint64_t matrix, std::uint8_t x) {
+  std::uint8_t out = 0;
+  for (unsigned r = 0; r < 8; ++r) {
+    const auto row = static_cast<std::uint8_t>(matrix >> (8 * (7 - r)));
+    const unsigned parity = __builtin_popcount(row & x) & 1u;
+    out |= static_cast<std::uint8_t>(parity << r);
+  }
+  return out;
+}
+
 TEST(Kernels, Gf256CtxMatchesFieldArithmetic) {
-  // The split-nibble half-tables must reproduce c * x for every (c, x) pair:
-  // full[x] == lo[x & 0xf] ^ hi[x >> 4] == GF256::mul(c, x).
+  // The split-nibble half-tables and the GFNI affine matrix must reproduce
+  // c * x for every (c, x) pair:
+  // full[x] == lo[x & 0xf] ^ hi[x >> 4] == affine(x) == GF256::mul(c, x).
   for (unsigned c = 0; c < 256; ++c) {
     const kern::Gf256Ctx ctx =
         gf::GF256::mul_ctx(static_cast<gf::GF256::Element>(c));
@@ -175,6 +202,9 @@ TEST(Kernels, Gf256CtxMatchesFieldArithmetic) {
       ASSERT_EQ(ctx.full[x], expected) << "c=" << c << " x=" << x;
       ASSERT_EQ(ctx.lo[x & 0xf] ^ ctx.hi[x >> 4], expected)
           << "c=" << c << " x=" << x;
+      ASSERT_EQ(affine_apply(ctx.affine, static_cast<std::uint8_t>(x)),
+                expected)
+          << "affine c=" << c << " x=" << x;
     }
   }
 }
@@ -216,6 +246,125 @@ TEST(Kernels, XorAccumulatorMatchesNaive) {
     }  // destructor flushes
     ASSERT_EQ(expect, got) << "count=" << count;
   }
+}
+
+// Row counts straddling the 4-source fold grouping (0..5, then past one and
+// two full passes) and lengths straddling the 4096-byte tile boundary.
+const std::vector<std::size_t> kRowCounts = {0, 1, 2, 3, 4, 5, 8, 9, 17};
+const std::vector<std::size_t> kRowLengths = {0,    1,    3,    64,  1000,
+                                              4095, 4096, 4097, 8192, 12293};
+
+TEST(Kernels, XorBlockRowsMatchesRepeatedSingle) {
+  const kern::Ops& scalar = *kern::ops_for(kern::Isa::kScalar);
+  for (const kern::Isa isa : all_tiers()) {
+    const kern::Ops& ops = *kern::ops_for(isa);
+    for (const std::size_t count : kRowCounts) {
+      for (const std::size_t n : kRowLengths) {
+        for (const std::size_t off : kOffsets) {
+          const auto d0 = random_bytes(n + off, 7000 + count + n);
+          std::vector<std::vector<std::uint8_t>> sources;
+          std::vector<const std::uint8_t*> ptrs;
+          for (std::size_t i = 0; i < count; ++i) {
+            sources.push_back(random_bytes(n + off, 7100 + 13 * i + n));
+            ptrs.push_back(sources.back().data() + off);
+          }
+
+          auto expect = d0;
+          for (const auto* p : ptrs) {
+            scalar.xor_block(expect.data() + off, p, n);
+          }
+          auto got = d0;
+          kern::xor_block_rows(ops, got.data() + off, ptrs.data(), count, n);
+          ASSERT_EQ(expect, got) << kern::isa_name(isa) << " count=" << count
+                                 << " n=" << n << " off=" << off;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, Gf256FmaRowsMatchesRepeatedSingle) {
+  const kern::Ops& scalar = *kern::ops_for(kern::Isa::kScalar);
+  for (const kern::Isa isa : all_tiers()) {
+    const kern::Ops& ops = *kern::ops_for(isa);
+    for (const std::size_t count : kRowCounts) {
+      for (const std::size_t n : kRowLengths) {
+        const auto d0 = random_bytes(n, 8000 + count + n);
+        std::vector<std::vector<std::uint8_t>> sources;
+        std::vector<const std::uint8_t*> ptrs;
+        std::vector<kern::Gf256Ctx> ctxs;
+        for (std::size_t i = 0; i < count; ++i) {
+          sources.push_back(random_bytes(n, 8100 + 13 * i + n));
+          ptrs.push_back(sources.back().data());
+          ctxs.push_back(gf::GF256::mul_ctx(
+              static_cast<gf::GF256::Element>(2 + 7 * i)));
+        }
+
+        auto expect = d0;
+        for (std::size_t i = 0; i < count; ++i) {
+          scalar.gf256_fma(expect.data(), ptrs[i], n, ctxs[i]);
+        }
+        auto got = d0;
+        kern::gf256_fma_rows(ops, got.data(), ptrs.data(), ctxs.data(), count,
+                             n);
+        ASSERT_EQ(expect, got) << kern::isa_name(isa) << " count=" << count
+                               << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Kernels, Gf256FieldFmaRowsMatchesRepeatedBuffer) {
+  // The field-level entry point splits coefficient-0 (skipped),
+  // coefficient-1 (XOR fold), and general coefficients (fma fold); the
+  // coefficient list deliberately mixes all three.
+  const std::vector<gf::GF256::Element> coeffs = {0, 1, 2, 0x8E, 1, 0, 0xFF,
+                                                  0x53, 1};
+  for (const std::size_t n : {std::size_t{257}, std::size_t{8192}}) {
+    const auto d0 = random_bytes(n, 900);
+    std::vector<std::vector<std::uint8_t>> sources;
+    std::vector<const std::uint8_t*> ptrs;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      sources.push_back(random_bytes(n, 910 + i));
+      ptrs.push_back(sources.back().data());
+    }
+    auto expect = d0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      gf::GF256::fma_buffer(expect.data(), ptrs[i], n, coeffs[i]);
+    }
+    auto got = d0;
+    gf::GF256::fma_rows(got.data(), ptrs.data(), coeffs.data(), coeffs.size(),
+                        n);
+    ASSERT_EQ(expect, got) << "n=" << n;
+  }
+}
+
+TEST(Kernels, Gf65536FieldFmaRowsMatchesRepeatedBuffer) {
+  const std::vector<gf::GF65536::Element> coeffs = {0, 1, 0xBEEF, 2, 0x0101};
+  for (const std::size_t n : {std::size_t{258}, std::size_t{8196}}) {
+    const auto d0 = random_bytes(n, 920);
+    std::vector<std::vector<std::uint8_t>> sources;
+    std::vector<const std::uint8_t*> ptrs;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      sources.push_back(random_bytes(n, 930 + i));
+      ptrs.push_back(sources.back().data());
+    }
+    auto expect = d0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      gf::GF65536::fma_buffer(expect.data(), ptrs[i], n, coeffs[i]);
+    }
+    auto got = d0;
+    gf::GF65536::fma_rows(got.data(), ptrs.data(), coeffs.data(),
+                          coeffs.size(), n);
+    ASSERT_EQ(expect, got) << "n=" << n;
+  }
+  // Odd lengths violate the 16-bit symbol grid.
+  std::uint8_t dst[2] = {0, 0};
+  const std::uint8_t src[2] = {1, 2};
+  const std::uint8_t* srcs[1] = {src};
+  const gf::GF65536::Element one = 1;
+  EXPECT_THROW(gf::GF65536::fma_rows(dst, srcs, &one, 1, 1),
+               std::invalid_argument);
 }
 
 TEST(Kernels, IsaOverride) {

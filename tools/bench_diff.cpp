@@ -1,0 +1,266 @@
+// bench_diff — the CI perf-regression gate.
+//
+// Compares a fresh bench run (JSON-lines records from bench_common.hpp's
+// append_json) against the checked-in bench/baseline.json and exits non-zero
+// when any gated record's throughput dropped by more than the threshold.
+//
+//   bench_diff --baseline bench/baseline.json --current BENCH_results.json
+//              [--threshold 0.10]
+//
+// Design:
+//   * Records are matched by (bench, name, kernel). When a file contains the
+//     same key more than once (append semantics across runs), the last
+//     occurrence wins — it is the most recent measurement.
+//   * Gated records are those with mb_per_s > 0 whose name mentions a
+//     data-path stage (xor / fma / encode / decode). Efficiency metrics,
+//     overhead fractions and receiver rates carry value-only records and are
+//     deliberately not gated: they are deterministic outputs checked by the
+//     scenario tests, not throughput.
+//   * Host normalization: both files must contain the scalar
+//     "calibration/xor64k" record — a fixed workload whose speed tracks only
+//     the machine. Every current throughput is divided by
+//     (current calibration / baseline calibration) before comparison, so
+//     running the gate on a slower or faster host than the one that seeded
+//     the baseline does not produce false verdicts.
+//   * Schema versions must match kExpectedSchema in both files; a stale
+//     baseline is a configuration error (exit 2), not a pass.
+//
+// Exit codes: 0 = no regression; 1 = at least one gated record regressed;
+// 2 = usage, parse, schema, or calibration error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kExpectedSchema = 2;
+constexpr const char* kCalibrationName = "calibration/xor64k";
+constexpr const char* kCalibrationKernel = "scalar";
+
+struct Record {
+  std::string bench;
+  std::string name;
+  std::string kernel;
+  double mb_per_s = 0;
+  double seconds = 0;
+  int schema = -1;  // -1: field absent
+};
+
+/// Minimal parser for the flat one-line JSON objects append_json emits:
+/// string and number values only, no nesting, no escapes beyond \" and \\.
+/// Returns false (with a message in `err`) on malformed input.
+bool parse_line(const std::string& line, Record& out, std::string& err) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  const auto parse_string = [&](std::string& s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    s.clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      s.push_back(line[i++]);
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    err = "expected '{'";
+    return false;
+  }
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') break;
+    std::string key;
+    if (!parse_string(key)) {
+      err = "expected key string";
+      return false;
+    }
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') {
+      err = "expected ':' after key";
+      return false;
+    }
+    ++i;
+    skip_ws();
+    if (i < line.size() && line[i] == '"') {
+      std::string value;
+      if (!parse_string(value)) {
+        err = "unterminated string value";
+        return false;
+      }
+      if (key == "bench") out.bench = value;
+      else if (key == "name") out.name = value;
+      else if (key == "kernel") out.kernel = value;
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + i, &end);
+      if (end == line.c_str() + i) {
+        err = "expected number for key '" + key + "'";
+        return false;
+      }
+      i = static_cast<std::size_t>(end - line.c_str());
+      if (key == "mb_per_s") out.mb_per_s = value;
+      else if (key == "seconds") out.seconds = value;
+      else if (key == "schema") out.schema = static_cast<int>(value);
+    }
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') break;
+    err = "expected ',' or '}'";
+    return false;
+  }
+  return true;
+}
+
+using RecordMap = std::map<std::string, Record>;
+
+std::string key_of(const Record& r) {
+  return r.bench + '\x1f' + r.name + '\x1f' + r.kernel;
+}
+
+/// Loads a JSON-lines bench file; enforces the schema version on every
+/// record. Returns false on I/O, parse, or schema mismatch.
+bool load_file(const char* path, RecordMap& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    Record r;
+    std::string err;
+    if (!parse_line(line, r, err)) {
+      std::fprintf(stderr, "bench_diff: %s:%zu: %s\n", path, lineno,
+                   err.c_str());
+      return false;
+    }
+    if (r.schema != kExpectedSchema) {
+      std::fprintf(stderr,
+                   "bench_diff: %s:%zu: schema %d, expected %d — regenerate "
+                   "the file with current bench binaries\n",
+                   path, lineno, r.schema, kExpectedSchema);
+      return false;
+    }
+    out[key_of(r)] = r;  // last occurrence of a key wins
+  }
+  return true;
+}
+
+bool is_calibration(const Record& r) {
+  return r.name == kCalibrationName && r.kernel == kCalibrationKernel;
+}
+
+/// A record participates in the gate when it measures data-path throughput.
+bool is_gated(const Record& r) {
+  if (r.mb_per_s <= 0 || is_calibration(r)) return false;
+  return r.name.find("xor") != std::string::npos ||
+         r.name.find("fma") != std::string::npos ||
+         r.name.find("encode") != std::string::npos ||
+         r.name.find("decode") != std::string::npos;
+}
+
+const Record* find_calibration(const RecordMap& m) {
+  for (const auto& [key, r] : m) {
+    if (is_calibration(r) && r.mb_per_s > 0) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "bench_diff: unknown argument '%s'\n", argv[i]);
+      baseline_path = nullptr;
+      break;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr || threshold <= 0 ||
+      threshold >= 1) {
+    std::fprintf(stderr,
+                 "usage: bench_diff --baseline <file> --current <file> "
+                 "[--threshold 0.10]\n");
+    return 2;
+  }
+
+  RecordMap baseline, current;
+  if (!load_file(baseline_path, baseline)) return 2;
+  if (!load_file(current_path, current)) return 2;
+
+  const Record* base_cal = find_calibration(baseline);
+  const Record* cur_cal = find_calibration(current);
+  if (base_cal == nullptr || cur_cal == nullptr) {
+    std::fprintf(stderr,
+                 "bench_diff: calibration record '%s' (kernel %s) missing "
+                 "from %s — cannot normalize across hosts\n",
+                 kCalibrationName, kCalibrationKernel,
+                 base_cal == nullptr ? baseline_path : current_path);
+    return 2;
+  }
+  const double scale = cur_cal->mb_per_s / base_cal->mb_per_s;
+  std::printf("bench_diff: calibration %.1f -> %.1f MB/s (host scale %.3f), "
+              "threshold %.0f%%\n",
+              base_cal->mb_per_s, cur_cal->mb_per_s, scale, threshold * 100);
+
+  int gated = 0, regressed = 0, missing = 0;
+  for (const auto& [key, base] : baseline) {
+    if (!is_gated(base)) continue;
+    ++gated;
+    const auto it = current.find(key);
+    if (it == current.end() || it->second.mb_per_s <= 0) {
+      // A tier can legitimately disappear when the gate runs on different
+      // hardware than the baseline host (e.g. no GFNI); warn, don't fail.
+      std::fprintf(stderr, "bench_diff: WARNING: no current record for %s/%s "
+                           "(%s)\n",
+                   base.bench.c_str(), base.name.c_str(), base.kernel.c_str());
+      ++missing;
+      continue;
+    }
+    const double normalized = it->second.mb_per_s / scale;
+    const double floor = base.mb_per_s * (1.0 - threshold);
+    if (normalized < floor) {
+      std::printf("REGRESSION %-34s %-8s %9.1f -> %9.1f MB/s (norm %9.1f, "
+                  "floor %9.1f)\n",
+                  base.name.c_str(), base.kernel.c_str(), base.mb_per_s,
+                  it->second.mb_per_s, normalized, floor);
+      ++regressed;
+    }
+  }
+
+  std::printf("bench_diff: %d gated record(s), %d regressed, %d missing\n",
+              gated, regressed, missing);
+  if (gated == 0) {
+    std::fprintf(stderr, "bench_diff: baseline contains no gated records\n");
+    return 2;
+  }
+  return regressed > 0 ? 1 : 0;
+}
