@@ -37,6 +37,22 @@ struct Event {
 using EventQueue =
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
 
+// Marks `index` in a receiver's distinct bitmap; returns true if new. The
+// bitmap is pre-sized to encoded_count() at join, but rateless sources
+// address indices past n (their symbol space is unbounded), so it grows
+// geometrically on demand — amortized O(1) per packet, and block codecs
+// never trigger the growth path.
+bool mark_seen(std::vector<std::uint8_t>& seen, std::uint32_t index) {
+  if (index >= seen.size()) {
+    std::size_t size = std::max<std::size_t>(seen.size(), 64);
+    while (size <= index) size *= 2;
+    seen.resize(size, 0);
+  }
+  if (seen[index] != 0) return false;
+  seen[index] = 1;
+  return true;
+}
+
 // Per-receiver adaptation state while its cohort runs: the subscription
 // level, the synthetic congestion environment of the legacy adaptive knobs
 // (drifting capacity + extra loss above it), and the active
@@ -444,8 +460,7 @@ void Session::CohortRunner::process_batch(std::size_t m, Subscription& sub,
         ++rep.rejected;  // wrong code: never reaches the decoder
         continue;
       }
-      if (!slot.seen[index]) {
-        slot.seen[index] = 1;
+      if (mark_seen(slot.seen, index)) {
         ++rep.distinct;
         st.last_progress = now;
       }
@@ -505,8 +520,7 @@ void Session::CohortRunner::deliver_pending(std::uint32_t idx, Time now) {
     ++rep.rejected;
     return;
   }
-  if (!slot.seen[p.index]) {
-    slot.seen[p.index] = 1;
+  if (mark_seen(slot.seen, p.index)) {
     ++rep.distinct;
     adapt_[m].last_progress = now;
   }

@@ -24,6 +24,34 @@ void CarouselSource::emit(std::uint64_t round, PacketBatch& batch) const {
       0, true, 0, static_cast<std::uint32_t>(batch.indices.size())});
 }
 
+RatelessSource::RatelessSource(fec::CodecId codec, std::uint64_t offset,
+                               std::uint64_t stride,
+                               std::size_t packets_per_fire)
+    : codec_(codec),
+      offset_(offset),
+      stride_(stride),
+      packets_per_fire_(packets_per_fire) {
+  if (stride == 0) {
+    throw std::invalid_argument("RatelessSource: stride must be > 0");
+  }
+  if (packets_per_fire == 0) {
+    throw std::invalid_argument("RatelessSource: packets_per_fire must be > 0");
+  }
+}
+
+void RatelessSource::emit(std::uint64_t round, PacketBatch& batch) const {
+  // Pure in `round` by construction; indices stay within uint32 because a
+  // session horizon is far below 2^32 firings (truncation would need ~4e9
+  // emitted symbols on one source).
+  const std::uint64_t first = offset_ + round * stride_ * packets_per_fire_;
+  for (std::size_t i = 0; i < packets_per_fire_; ++i) {
+    batch.indices.push_back(
+        static_cast<std::uint32_t>(first + i * stride_));
+  }
+  batch.segments.push_back(PacketBatch::Segment{
+      0, true, 0, static_cast<std::uint32_t>(batch.indices.size())});
+}
+
 StridedCarouselSource::StridedCarouselSource(
     const carousel::Carousel& carousel, fec::CodecId codec,
     std::uint64_t offset, std::uint64_t stride)

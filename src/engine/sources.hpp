@@ -33,6 +33,32 @@ class CarouselSource final : public PacketSource {
   std::size_t packets_per_fire_;
 };
 
+/// A true fountain: firing r carries the monotonically increasing symbol
+/// indices [offset + r*stride*ppf, ...) — no carousel, no wraparound, never
+/// a repeated index. Only meaningful for rateless codecs (the lt/ plane),
+/// whose encoders accept any uint32 index. Path p of an S-path dispersity
+/// transfer is RatelessSource(codec, p, S, ppf): firing r carries indices
+/// p + (r*ppf + i)*S, so the paths partition the index space and even merged
+/// paths never duplicate.
+class RatelessSource final : public PacketSource {
+ public:
+  explicit RatelessSource(fec::CodecId codec, std::uint64_t offset = 0,
+                          std::uint64_t stride = 1,
+                          std::size_t packets_per_fire = 1);
+
+  fec::CodecId codec_id() const override { return codec_; }
+  double subscribed_rate(unsigned) const override {
+    return static_cast<double>(packets_per_fire_);
+  }
+  void emit(std::uint64_t round, PacketBatch& batch) const override;
+
+ private:
+  fec::CodecId codec_;
+  std::uint64_t offset_;
+  std::uint64_t stride_;
+  std::size_t packets_per_fire_;
+};
+
 /// Every `stride`-th slot of a carousel starting at `offset`: path p of a
 /// dispersity-routed transfer dealing packets round-robin over `stride`
 /// paths is StridedCarouselSource(c, codec, p, stride). One packet per fire;

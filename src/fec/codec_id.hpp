@@ -14,12 +14,25 @@ enum class CodecId : std::uint8_t {
   kTornado = 0,
   kReedSolomon = 1,
   kInterleaved = 2,
+  kLT = 3,
 };
+
+/// Sentinel naming the highest assigned CodecId. New families MUST be added
+/// contiguously at the end of the enum AND this sentinel moved to the new
+/// last member — is_known_codec() derives its bound from here. Keeping the
+/// bound next to the enum (instead of hardcoding a member name below) makes
+/// "add a family, forget the parser" a one-line review check rather than a
+/// silent wire-level rejection of the new codec.
+inline constexpr CodecId kMaxCodecId = CodecId::kLT;
+
+static_assert(static_cast<std::uint8_t>(kMaxCodecId) ==
+                  static_cast<std::uint8_t>(CodecId::kLT),
+              "kMaxCodecId must name the last CodecId member");
 
 /// True iff `raw` names a CodecId above. Wire parsers must check this before
 /// casting an untrusted byte into the enum.
 constexpr bool is_known_codec(std::uint8_t raw) {
-  return raw <= static_cast<std::uint8_t>(CodecId::kInterleaved);
+  return raw <= static_cast<std::uint8_t>(kMaxCodecId);
 }
 
 }  // namespace fountain::fec

@@ -14,6 +14,7 @@
 #include "core/tornado.hpp"
 #include "fec/interleaved.hpp"
 #include "fec/reed_solomon.hpp"
+#include "lt/lt_code.hpp"
 
 namespace fountain::fec {
 
@@ -59,6 +60,18 @@ std::unique_ptr<ErasureCode> make_interleaved(const CodecParams& params) {
                                            params.symbol_size, params.stretch);
 }
 
+std::unique_ptr<ErasureCode> make_lt(const CodecParams& params) {
+  check_common(params, "CodecRegistry/lt");
+  lt::LtParams p;
+  p.k = params.k;
+  p.symbol_size = params.symbol_size;
+  p.stretch = params.stretch;
+  p.seed = params.seed;
+  // variant packs the robust-soliton (c, delta); 0 means the defaults.
+  lt::params_from_variant(params.variant, p.c, p.delta);
+  return std::make_unique<lt::LtCode>(p);
+}
+
 }  // namespace
 
 const CodecRegistry& CodecRegistry::builtin() {
@@ -67,6 +80,7 @@ const CodecRegistry& CodecRegistry::builtin() {
     r.register_codec(CodecId::kTornado, "tornado", make_tornado);
     r.register_codec(CodecId::kReedSolomon, "reed_solomon", make_rs);
     r.register_codec(CodecId::kInterleaved, "interleaved", make_interleaved);
+    r.register_codec(CodecId::kLT, "lt", make_lt);
     return r;
   }();
   return registry;

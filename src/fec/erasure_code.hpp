@@ -63,8 +63,13 @@ class BlockEncoder {
   virtual std::size_t state_bytes() const { return 0; }
 
   /// Writes encoding symbol `index` into `out` (exactly symbol_size()
-  /// bytes). Throws std::out_of_range for index >= encoded_count() and
-  /// std::invalid_argument on a wrong-sized buffer.
+  /// bytes). Block codes throw std::out_of_range for index >=
+  /// encoded_count(); *rateless* codes (the lt/ plane) accept every uint32
+  /// index — their encoded_count() is a nominal n for block-shaped plumbing,
+  /// not a bound. Callers that must stay block-shaped (e.g. whole-block
+  /// encode()) only ever pass indices below encoded_count(), so both
+  /// families satisfy them. Throws std::invalid_argument on a wrong-sized
+  /// buffer.
   virtual void write_symbol(std::uint32_t index, util::ByteSpan out) const = 0;
 
   /// Batched variant: writes symbols [first, first + out.rows()) into the

@@ -1,0 +1,498 @@
+#include "lt/decoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "kern/kernels.hpp"
+
+namespace fountain::lt {
+
+namespace {
+
+// Bit-vector helpers over `words`-wide GF(2) mask rows.
+bool test_bit(const std::uint64_t* m, std::size_t b) {
+  return ((m[b >> 6] >> (b & 63)) & 1U) != 0;
+}
+
+void flip_bit(std::uint64_t* m, std::size_t b) { m[b >> 6] ^= 1ULL << (b & 63); }
+
+void xor_words(std::uint64_t* dst, const std::uint64_t* src,
+               std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] ^= src[i];
+}
+
+std::int64_t lowest_bit(const std::uint64_t* m, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    if (m[w] != 0) {
+      return static_cast<std::int64_t>(w * 64 +
+                                       static_cast<std::size_t>(
+                                           __builtin_ctzll(m[w])));
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void InactivationPlan::clear() {
+  success = false;
+  deficit = 0;
+  words = 0;
+  resolved.clear();
+  resolved_masks.clear();
+  inactive.clear();
+  pivot_check.clear();
+  pivot_var.clear();
+  pivot_masks.clear();
+}
+
+// ---- LtDecoderCore ----
+
+LtDecoderCore::LtDecoderCore(const LtCode& code)
+    : code_(&code),
+      k_(code.source_count()),
+      gen_(code.distribution(), code.params().seed),
+      known_(k_, 0),
+      adj_(k_) {
+  check_begin_.push_back(0);
+}
+
+LtDecoderCore::AddResult LtDecoderCore::insert(std::uint32_t index) {
+  AddResult r;
+  if (complete()) return r;
+  if (!seen_.insert(index).second) return r;  // duplicate
+  r.new_index = true;
+  ++distinct_;
+
+  gen_.generate(index, nbrs_);
+  std::uint32_t unknown = 0;
+  for (const auto n : nbrs_) unknown += known_[n] == 0 ? 1U : 0U;
+  if (unknown == 0) return r;  // redundant: every neighbor already known
+
+  const auto c = static_cast<std::uint32_t>(unknown_count_.size());
+  nbr_.insert(nbr_.end(), nbrs_.begin(), nbrs_.end());
+  check_begin_.push_back(static_cast<std::uint32_t>(nbr_.size()));
+  unknown_count_.push_back(unknown);
+  for (const auto n : nbrs_) {
+    if (known_[n] == 0) adj_[n].push_back(c);
+  }
+  if (unknown == 1) fire_.push_back(c);
+  r.check = c;
+  return r;
+}
+
+void LtDecoderCore::propagate(std::vector<PeelEvent>& events) {
+  while (!fire_.empty()) {
+    const auto c = fire_.back();
+    fire_.pop_back();
+    if (unknown_count_[c] != 1) continue;  // stale queue entry
+    std::uint32_t s = 0;
+    for (const auto n : check_neighbors(c)) {
+      if (known_[n] == 0) {
+        s = n;
+        break;
+      }
+    }
+    known_[s] = 1;
+    ++known_count_;
+    ++peeled_;
+    events.push_back({c, s});
+    // c itself sits in adj_[s], so this loop also retires c to zero.
+    for (const auto c2 : adj_[s]) {
+      if (--unknown_count_[c2] == 1) fire_.push_back(c2);
+    }
+    adj_[s].clear();
+  }
+}
+
+bool LtDecoderCore::should_attempt() const {
+  if (complete() || distinct_ < k_) return false;
+  return distinct_ - distinct_at_attempt_ >= last_deficit_;
+}
+
+void LtDecoderCore::plan_inactivation(InactivationPlan& plan) {
+  plan.clear();
+  ++attempts_;
+  const auto fail = [&](std::size_t deficit) {
+    plan.success = false;
+    plan.deficit = std::max<std::size_t>(deficit, 1);
+    last_deficit_ = plan.deficit;
+    distinct_at_attempt_ = distinct_;
+  };
+
+  const std::size_t checks = unknown_count_.size();
+  const std::size_t unknowns = k_ - known_count_;
+
+  // Residual degree per unknown source (count of residual checks covering
+  // it). plan_pos_ doubles as the rd[] scratch here; it is overwritten with
+  // resolution ordinals once the candidate order is fixed.
+  plan_pos_.assign(k_, 0);
+  std::size_t residual_checks = 0;
+  for (std::uint32_t c = 0; c < checks; ++c) {
+    if (unknown_count_[c] < 2) continue;
+    ++residual_checks;
+    for (const auto n : check_neighbors(c)) {
+      if (known_[n] == 0) ++plan_pos_[n];
+    }
+  }
+
+  // A source no residual check covers is unreachable: the system misses at
+  // least one independent equation per uncovered source, and a new symbol
+  // raises the rank by at most one — fail without touching any masks.
+  std::size_t uncovered = 0;
+  plan_order_.clear();
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    if (known_[s] != 0) continue;
+    if (plan_pos_[s] == 0) {
+      ++uncovered;
+    } else {
+      plan_order_.push_back(s);
+    }
+  }
+  if (uncovered > 0) {
+    fail(uncovered);
+    return;
+  }
+
+  // Inactivation candidates: highest residual degree first (removing a
+  // high-degree source unlocks the most checks), source id as the
+  // deterministic tie-break via stable sort over the ascending-id list.
+  std::stable_sort(plan_order_.begin(), plan_order_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return plan_pos_[a] > plan_pos_[b];
+                   });
+
+  // Symbolic re-peel: run the ripple on a copy of the unknown counts; every
+  // time it dies, inactivate the next candidate and continue with it counted
+  // as known. Each pop defines exactly one source in triangular order.
+  plan_ucnt_.assign(unknown_count_.begin(), unknown_count_.end());
+  plan_state_.assign(k_, 0);
+  plan_used_.assign(checks, 0);
+  plan_fire_.clear();
+  std::size_t remaining = unknowns;
+  std::size_t cand = 0;
+  while (remaining > 0) {
+    if (plan_fire_.empty()) {
+      while (plan_state_[plan_order_[cand]] != 0) ++cand;
+      const auto s = plan_order_[cand];
+      plan_state_[s] = 2;
+      plan.inactive.push_back(s);
+      --remaining;
+      for (const auto c2 : adj_[s]) {
+        if (--plan_ucnt_[c2] == 1) plan_fire_.push_back(c2);
+      }
+    } else {
+      const auto c = plan_fire_.back();
+      plan_fire_.pop_back();
+      if (plan_ucnt_[c] != 1) continue;
+      std::uint32_t s = 0;
+      bool found = false;
+      for (const auto n : check_neighbors(c)) {
+        if (known_[n] == 0 && plan_state_[n] == 0) {
+          s = n;
+          found = true;
+          break;
+        }
+      }
+      assert(found && "defining check lost its active member");
+      if (!found) continue;
+      plan_state_[s] = 1;
+      plan_used_[c] = 1;
+      plan.resolved.push_back({c, s});
+      --remaining;
+      for (const auto c2 : adj_[s]) {
+        if (--plan_ucnt_[c2] == 1) plan_fire_.push_back(c2);
+      }
+    }
+  }
+
+  const std::size_t ninact = plan.inactive.size();
+  const std::size_t equations = residual_checks - plan.resolved.size();
+  if (equations < ninact) {  // rank <= equations: cheap counting fast-fail
+    fail(ninact - equations);
+    return;
+  }
+
+  const std::size_t words = (ninact + 63) / 64;
+  plan.words = words;
+  for (std::size_t j = 0; j < plan.resolved.size(); ++j) {
+    plan_pos_[plan.resolved[j].source] = static_cast<std::uint32_t>(j);
+  }
+  for (std::size_t b = 0; b < ninact; ++b) {
+    plan_pos_[plan.inactive[b]] = static_cast<std::uint32_t>(b);
+  }
+
+  // Express every resolved source as a combination over the inactive set:
+  // its defining check's other unknown members are inactive (unit bit) or
+  // resolved earlier (their masks — already built, triangular order).
+  plan.resolved_masks.assign(plan.resolved.size() * words, 0);
+  for (std::size_t j = 0; j < plan.resolved.size(); ++j) {
+    auto* row = plan.resolved_masks.data() + j * words;
+    const auto [c, s] = plan.resolved[j];
+    for (const auto n : check_neighbors(c)) {
+      if (n == s || known_[n] != 0) continue;
+      if (plan_state_[n] == 2) {
+        flip_bit(row, plan_pos_[n]);
+      } else {
+        xor_words(row, plan.resolved_masks.data() + plan_pos_[n] * words,
+                  words);
+      }
+    }
+  }
+
+  // Incremental GE over the unused residual checks, accept-as-you-go. The
+  // reduction is a single sequential pass over accepted pivots: pivot p's
+  // mask never contains an earlier pivot's variable, so bits introduced
+  // mid-pass always belong to later loop indices. The data decoder replays
+  // this exact loop over payload rows, so determinism here is load-bearing.
+  plan.pivot_masks.reserve(ninact * words);
+  std::size_t rank = 0;
+  for (std::uint32_t c = 0; c < checks && rank < ninact; ++c) {
+    if (unknown_count_[c] < 2 || plan_used_[c] != 0) continue;
+    plan_mask_.assign(words, 0);
+    for (const auto n : check_neighbors(c)) {
+      if (known_[n] != 0) continue;
+      if (plan_state_[n] == 2) {
+        flip_bit(plan_mask_.data(), plan_pos_[n]);
+      } else {
+        xor_words(plan_mask_.data(),
+                  plan.resolved_masks.data() + plan_pos_[n] * words, words);
+      }
+    }
+    for (std::size_t p = 0; p < rank; ++p) {
+      if (test_bit(plan_mask_.data(), plan.pivot_var[p])) {
+        xor_words(plan_mask_.data(), plan.pivot_masks.data() + p * words,
+                  words);
+      }
+    }
+    const auto var = lowest_bit(plan_mask_.data(), words);
+    if (var < 0) continue;  // dependent equation
+    plan.pivot_check.push_back(c);
+    plan.pivot_var.push_back(static_cast<std::uint32_t>(var));
+    plan.pivot_masks.insert(plan.pivot_masks.end(), plan_mask_.begin(),
+                            plan_mask_.end());
+    ++rank;
+  }
+
+  if (rank < ninact) {
+    fail(ninact - rank);
+    return;
+  }
+  plan.success = true;
+  inactivated_ += ninact;
+  last_deficit_ = 0;
+  distinct_at_attempt_ = distinct_;
+}
+
+void LtDecoderCore::finish_plan() {
+  std::fill(known_.begin(), known_.end(), static_cast<std::uint8_t>(1));
+  known_count_ = k_;
+  for (auto& a : adj_) a.clear();
+  fire_.clear();
+}
+
+void LtDecoderCore::reset() {
+  seen_.clear();
+  distinct_ = 0;
+  nbr_.clear();
+  check_begin_.clear();
+  check_begin_.push_back(0);
+  unknown_count_.clear();
+  std::fill(known_.begin(), known_.end(), static_cast<std::uint8_t>(0));
+  for (auto& a : adj_) a.clear();
+  fire_.clear();
+  known_count_ = 0;
+  last_deficit_ = 0;
+  distinct_at_attempt_ = 0;
+  attempts_ = 0;
+  inactivated_ = 0;
+  peeled_ = 0;
+}
+
+// ---- LtStructuralDecoder ----
+
+bool LtStructuralDecoder::add_index(std::uint32_t index) {
+  if (core_.complete()) return true;
+  const auto r = core_.insert(index);
+  if (r.check >= 0) {
+    events_.clear();
+    core_.propagate(events_);
+  }
+  if (!core_.complete() && core_.should_attempt()) {
+    core_.plan_inactivation(plan_);
+    if (plan_.success) core_.finish_plan();
+  }
+  return core_.complete();
+}
+
+// ---- LtDataDecoder ----
+
+LtDataDecoder::LtDataDecoder(const LtCode& code)
+    : core_(code),
+      symbol_size_(code.symbol_size()),
+      nodes_(code.source_count(), code.symbol_size()) {}
+
+void LtDataDecoder::store_payload(std::uint32_t check,
+                                  util::ConstByteSpan data) {
+  const std::size_t need =
+      (static_cast<std::size_t>(check) + 1) * symbol_size_;
+  if (payload_.capacity() < need) {
+    payload_.reserve(std::max(need, payload_.capacity() * 2));
+  }
+  payload_.resize(need);
+  std::memcpy(payload_.data() + static_cast<std::size_t>(check) * symbol_size_,
+              data.data(), symbol_size_);
+}
+
+void LtDataDecoder::replay(const std::vector<PeelEvent>& events) {
+  // Events arrive in core resolution order, so every neighbor other than the
+  // event's source already holds its final value in nodes_ when its fold
+  // runs: value(s) = check payload XOR (all other neighbors), one
+  // cache-blocked multi-row pass per recovered source.
+  for (const auto& e : events) {
+    auto dst = nodes_.row(e.source);
+    std::memcpy(dst.data(), payload_row(e.check), symbol_size_);
+    gather_.clear();
+    for (const auto n : core_.check_neighbors(e.check)) {
+      if (n != e.source) gather_.push_back(nodes_.row(n).data());
+    }
+    kern::xor_block_rows(dst.data(), gather_.data(), gather_.size(),
+                         symbol_size_);
+  }
+}
+
+void LtDataDecoder::apply_plan(const InactivationPlan& plan) {
+  const std::size_t words = plan.words;
+  const std::size_t np = plan.pivot_var.size();
+  mark_.assign(nodes_.rows(), 0);
+  pos_.assign(nodes_.rows(), 0);
+  for (std::size_t j = 0; j < plan.resolved.size(); ++j) {
+    mark_[plan.resolved[j].source] = 1;
+    pos_[plan.resolved[j].source] = static_cast<std::uint32_t>(j);
+  }
+  for (std::size_t b = 0; b < plan.inactive.size(); ++b) {
+    mark_[plan.inactive[b]] = 2;
+    pos_[plan.inactive[b]] = static_cast<std::uint32_t>(b);
+  }
+
+  // 1. Partial values for resolved sources, triangular order: B(s) = defining
+  // check payload XOR known/earlier-resolved neighbors (inactive skipped —
+  // their contribution lands in step 4). nodes_.row(s) holds B(s) until then.
+  for (const auto& [c, s] : plan.resolved) {
+    auto dst = nodes_.row(s);
+    std::memcpy(dst.data(), payload_row(c), symbol_size_);
+    gather_.clear();
+    for (const auto n : core_.check_neighbors(c)) {
+      if (n == s || mark_[n] == 2) continue;
+      gather_.push_back(nodes_.row(n).data());
+    }
+    kern::xor_block_rows(dst.data(), gather_.data(), gather_.size(),
+                         symbol_size_);
+  }
+
+  // 2. Dense-system right-hand sides, replaying the planner's elimination
+  // pass byte-for-byte over payloads.
+  util::SymbolMatrix rhs(np, symbol_size_);
+  std::vector<std::uint64_t> mask(words);
+  for (std::size_t j = 0; j < np; ++j) {
+    const auto c = plan.pivot_check[j];
+    auto dst = rhs.row(j);
+    std::memcpy(dst.data(), payload_row(c), symbol_size_);
+    gather_.clear();
+    std::fill(mask.begin(), mask.end(), 0);
+    for (const auto n : core_.check_neighbors(c)) {
+      if (mark_[n] == 2) {
+        flip_bit(mask.data(), pos_[n]);
+        continue;
+      }
+      if (mark_[n] == 1) {
+        xor_words(mask.data(), plan.resolved_masks.data() + pos_[n] * words,
+                  words);
+      }
+      gather_.push_back(nodes_.row(n).data());  // final value or B row
+    }
+    kern::xor_block_rows(dst.data(), gather_.data(), gather_.size(),
+                         symbol_size_);
+    for (std::size_t p = 0; p < j; ++p) {
+      if (test_bit(mask.data(), plan.pivot_var[p])) {
+        xor_words(mask.data(), plan.pivot_masks.data() + p * words, words);
+        kern::xor_block(dst.data(), rhs.row(p).data(), symbol_size_);
+      }
+    }
+    assert(std::equal(mask.begin(), mask.end(),
+                      plan.pivot_masks.begin() + j * words) &&
+           "payload elimination diverged from the structural plan");
+  }
+
+  // 3. Back-substitution, reverse acceptance order: every non-pivot bit of a
+  // reduced row belongs to a later pivot, already solved when we get there.
+  for (std::size_t j = np; j-- > 0;) {
+    const auto* row = plan.pivot_masks.data() + j * words;
+    gather_.clear();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const auto b = w * 64 +
+                       static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        if (b == plan.pivot_var[j]) continue;
+        gather_.push_back(nodes_.row(plan.inactive[b]).data());
+      }
+    }
+    auto dst = rhs.row(j);
+    kern::xor_block_rows(dst.data(), gather_.data(), gather_.size(),
+                         symbol_size_);
+    std::memcpy(nodes_.row(plan.inactive[plan.pivot_var[j]]).data(),
+                dst.data(), symbol_size_);
+  }
+
+  // 4. Fold the solved inactive values into every resolved source's B row.
+  for (std::size_t j = 0; j < plan.resolved.size(); ++j) {
+    const auto* row = plan.resolved_masks.data() + j * words;
+    gather_.clear();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const auto b = w * 64 +
+                       static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        gather_.push_back(nodes_.row(plan.inactive[b]).data());
+      }
+    }
+    if (!gather_.empty()) {
+      kern::xor_block_rows(nodes_.row(plan.resolved[j].source).data(),
+                           gather_.data(), gather_.size(), symbol_size_);
+    }
+  }
+}
+
+bool LtDataDecoder::add_symbol(std::uint32_t index, util::ConstByteSpan data) {
+  if (data.size() != symbol_size_) {
+    throw std::invalid_argument("LtDataDecoder: wrong symbol size");
+  }
+  if (core_.complete()) return true;
+  const auto r = core_.insert(index);
+  if (r.check >= 0) {
+    store_payload(static_cast<std::uint32_t>(r.check), data);
+    events_.clear();
+    core_.propagate(events_);
+    replay(events_);
+  }
+  if (!core_.complete() && core_.should_attempt()) {
+    core_.plan_inactivation(plan_);
+    if (plan_.success) {
+      apply_plan(plan_);
+      core_.finish_plan();
+    }
+  }
+  return core_.complete();
+}
+
+void LtDataDecoder::reset() {
+  core_.reset();
+  payload_.clear();
+}
+
+}  // namespace fountain::lt

@@ -1,0 +1,212 @@
+// LT decoding: belief-propagation peeling with an inactivation fallback.
+//
+// Phase 1 — peeling (the BP workhorse, same process as Tornado rule (a)):
+// every received symbol is a check node over its derived neighbor set; a
+// check with exactly one unknown neighbor recovers it, newly known sources
+// decrement their other checks, and the ripple runs until the queue drains.
+//
+// Phase 2 — inactivation (the ML closer): when peeling stalls with at least
+// k distinct symbols in hand, the residual graph is re-peeled *symbolically*:
+// whenever the ripple dies, one unknown source is "inactivated" (treated as
+// a free variable) and peeling continues with inactivated sources counted as
+// known. Every remaining unknown is thereby resolved into (defining check)
+// XOR (a sparse GF(2) combination of the inactivated set), and each leftover
+// residual check yields one dense equation over just the inactivated
+// variables. A small Gaussian elimination over those (typically a few dozen
+// to a few hundred variables — never the k x k system) decides solvability;
+// on success the inactivated values are solved and substituted back.
+//
+// The planning pass is purely structural (bitmask arithmetic, zero payload
+// bytes touched), so a failed attempt costs no symbol work; the attempt
+// schedule is rank-driven: after a failure with rank deficit d, the next
+// attempt waits for d more distinct symbols — each new symbol raises the
+// system rank by at most one, so no earlier attempt could have succeeded.
+// On success the data decoder replays the plan over payloads with the
+// cache-blocked kern:: row folds (one multi-row XOR per resolved node, plus
+// the dense elimination over the inactivated rows).
+//
+// Both decoders share LtDecoderCore, the index-level machinery; decodability
+// depends only on which indices arrived, so the structural decoder *is* the
+// core and the two agree on the completion packet by construction. Decoders
+// are pooled: reset() returns every container to size zero while keeping
+// capacity, per the engine sink-pooling contract.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "fec/erasure_code.hpp"
+#include "lt/lt_code.hpp"
+#include "util/symbols.hpp"
+
+namespace fountain::lt {
+
+/// One peeling resolution: `check`'s last unknown neighbor was `source`.
+struct PeelEvent {
+  std::uint32_t check;
+  std::uint32_t source;
+};
+
+/// Output of a successful (or failed) inactivation attempt. Masks are bit
+/// vectors over the inactivated set, `words` 64-bit words wide, flattened
+/// row-major (row r = [r * words, (r+1) * words)).
+struct InactivationPlan {
+  bool success = false;
+  std::size_t deficit = 0;  // unsolved rank gap when !success
+  std::size_t words = 0;
+  /// Triangular resolution order: source + its defining check.
+  std::vector<PeelEvent> resolved;
+  /// Per resolved entry: its value's inactive-set combination.
+  std::vector<std::uint64_t> resolved_masks;
+  /// Inactivated source ids; bit b of any mask refers to inactive[b].
+  std::vector<std::uint32_t> inactive;
+  /// Accepted pivot rows of the dense GF(2) system, in acceptance order:
+  /// equation check id, pivot variable (bit position), and the row's mask
+  /// reduced against all earlier pivots.
+  std::vector<std::uint32_t> pivot_check;
+  std::vector<std::uint32_t> pivot_var;
+  std::vector<std::uint64_t> pivot_masks;
+
+  void clear();
+};
+
+/// Index-level LT decoding state shared by both decoder facades.
+class LtDecoderCore {
+ public:
+  explicit LtDecoderCore(const LtCode& code);
+
+  struct AddResult {
+    bool new_index = false;   // false: duplicate (or already complete)
+    std::int64_t check = -1;  // stored check id; -1 if redundant/duplicate
+  };
+
+  /// Registers `index`: duplicate detection, neighbor derivation, check
+  /// storage. Does NOT run the ripple — callers copy the payload for the
+  /// returned check id first, then call propagate() (two-phase so the data
+  /// decoder's payload row exists before events referencing it fire).
+  AddResult insert(std::uint32_t index);
+
+  /// Runs the peeling ripple; appends one PeelEvent per recovered source.
+  void propagate(std::vector<PeelEvent>& events);
+
+  bool complete() const { return known_count_ == k_; }
+  std::size_t distinct() const { return distinct_; }
+  bool known(std::uint32_t source) const { return known_[source] != 0; }
+
+  /// Neighbor list of a stored check (derivation order, all neighbors
+  /// including ones known at arrival).
+  std::span<const std::uint32_t> check_neighbors(std::uint32_t check) const {
+    return {nbr_.data() + check_begin_[check],
+            check_begin_[check + 1] - check_begin_[check]};
+  }
+
+  /// True when an inactivation attempt is due: peeling stalled short of
+  /// completion, at least k distinct symbols in hand, and enough new
+  /// symbols have arrived to cover the previous attempt's rank deficit.
+  bool should_attempt() const;
+
+  /// Runs the structural inactivation pass (see file comment). On success
+  /// the caller performs any payload work and then calls finish_plan(); on
+  /// failure the attempt schedule is advanced and the state is untouched.
+  void plan_inactivation(InactivationPlan& plan);
+
+  /// Commits a successful plan: every source becomes known.
+  void finish_plan();
+
+  void reset();
+
+  // Diagnostics for tests and benches.
+  std::size_t attempts() const { return attempts_; }
+  std::size_t inactivated() const { return inactivated_; }
+  std::size_t peeled() const { return peeled_; }
+
+ private:
+  const LtCode* code_;
+  std::size_t k_;
+  NeighborGenerator gen_;
+  std::vector<std::uint32_t> nbrs_;  // insert() scratch
+
+  std::unordered_set<std::uint32_t> seen_;
+  std::size_t distinct_ = 0;
+
+  // Check arena: neighbor lists back to back; check c's span is
+  // [check_begin_[c], check_begin_[c+1]). unknown_count_[c] counts its
+  // currently unknown neighbors.
+  std::vector<std::uint32_t> nbr_;
+  std::vector<std::uint32_t> check_begin_;  // size = checks + 1
+  std::vector<std::uint32_t> unknown_count_;
+
+  std::vector<std::uint8_t> known_;                 // per source
+  std::vector<std::vector<std::uint32_t>> adj_;     // source -> check ids
+  std::vector<std::uint32_t> fire_;                 // ripple queue
+  std::size_t known_count_ = 0;
+
+  // Attempt schedule (rank-driven, see file comment).
+  std::size_t last_deficit_ = 0;
+  std::size_t distinct_at_attempt_ = 0;
+  std::size_t attempts_ = 0;
+  std::size_t inactivated_ = 0;
+  std::size_t peeled_ = 0;
+
+  // Planning scratch, pooled across attempts.
+  std::vector<std::uint32_t> plan_ucnt_;
+  std::vector<std::uint8_t> plan_state_;  // 0 active, 1 resolved, 2 inactive
+  std::vector<std::uint32_t> plan_pos_;   // resolved/inactive ordinal
+  std::vector<std::uint32_t> plan_order_; // inactivation candidate order
+  std::vector<std::uint32_t> plan_fire_;
+  std::vector<std::uint8_t> plan_used_;   // per check: defining check flag
+  std::vector<std::uint64_t> plan_mask_;  // one equation row
+};
+
+class LtStructuralDecoder final : public fec::StructuralDecoder {
+ public:
+  explicit LtStructuralDecoder(const LtCode& code) : core_(code) {}
+
+  bool add_index(std::uint32_t index) override;
+  bool complete() const override { return core_.complete(); }
+  void reset() override { core_.reset(); }
+
+  const LtDecoderCore& core() const { return core_; }
+
+ private:
+  LtDecoderCore core_;
+  std::vector<PeelEvent> events_;   // scratch (contents unused)
+  InactivationPlan plan_;           // scratch
+};
+
+class LtDataDecoder final : public fec::IncrementalDecoder {
+ public:
+  explicit LtDataDecoder(const LtCode& code);
+
+  bool add_symbol(std::uint32_t index, util::ConstByteSpan data) override;
+  bool complete() const override { return core_.complete(); }
+  void reset() override;
+  util::ConstSymbolView source() const override {
+    return util::ConstSymbolView(nodes_.data(), nodes_.rows(),
+                                 nodes_.symbol_size());
+  }
+
+  std::size_t distinct_received() const { return core_.distinct(); }
+  const LtDecoderCore& core() const { return core_; }
+
+ private:
+  const std::uint8_t* payload_row(std::uint32_t check) const {
+    return payload_.data() + static_cast<std::size_t>(check) * symbol_size_;
+  }
+  void store_payload(std::uint32_t check, util::ConstByteSpan data);
+  void replay(const std::vector<PeelEvent>& events);
+  void apply_plan(const InactivationPlan& plan);
+
+  LtDecoderCore core_;
+  std::size_t symbol_size_;
+  util::SymbolMatrix nodes_;           // k source rows (the decode target)
+  std::vector<std::uint8_t> payload_;  // stored check payloads, row-major
+  std::vector<PeelEvent> events_;      // scratch
+  InactivationPlan plan_;              // scratch
+  std::vector<const std::uint8_t*> gather_;  // substitution-source scratch
+  std::vector<std::uint8_t> mark_;     // plan replay: 1 resolved, 2 inactive
+  std::vector<std::uint32_t> pos_;     // plan replay: resolved/inactive ordinal
+};
+
+}  // namespace fountain::lt

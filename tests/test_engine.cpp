@@ -19,6 +19,7 @@
 #include "engine/session.hpp"
 #include "engine/sources.hpp"
 #include "fec/reed_solomon.hpp"
+#include "lt/lt_code.hpp"
 #include "net/loss.hpp"
 #include "proto/server.hpp"
 #include "util/random.hpp"
@@ -33,6 +34,7 @@ using engine::PerfectLink;
 using engine::ReceiverId;
 using engine::ReceiverReport;
 using engine::ReceiverSpec;
+using engine::RatelessSource;
 using engine::Session;
 using engine::SessionConfig;
 using engine::SourceId;
@@ -243,6 +245,72 @@ TEST(SessionMultiSource, MismatchedCodecIsQuarantined) {
   EXPECT_EQ(report.distinct, 30u);  // only the matching source decodes
   EXPECT_GT(report.rejected, 0u);
   EXPECT_EQ(report.received, report.distinct + report.rejected);
+}
+
+TEST(SessionMultiSource, MixedLtAndTornadoSessionQuarantinesImpostor) {
+  // A rateless session with a block-code impostor mirror: the LT fountain
+  // alone must complete the receiver while every Tornado-tagged packet is
+  // counted and rejected — the codec byte, not the payload, is the gate.
+  lt::LtParams p;
+  p.k = 200;
+  p.symbol_size = 16;
+  p.seed = 5;
+  const lt::LtCode code(p);
+  const auto impostor_carousel =
+      carousel::Carousel::sequential(code.encoded_count());
+
+  SessionConfig config;
+  config.horizon = 10000;
+  Session session(code, config);
+  const SourceId fountain = session.add_source(
+      std::make_shared<RatelessSource>(code.codec_id()));
+  const SourceId impostor = session.add_source(std::make_shared<CarouselSource>(
+      impostor_carousel, fec::CodecId::kTornado));
+  const ReceiverId id = session.add_receiver(ReceiverSpec{});
+  session.subscribe(id, fountain, std::make_unique<PerfectLink>());
+  session.subscribe(id, impostor, std::make_unique<PerfectLink>());
+
+  const auto report = session.run().front();
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.rejected, 0u);
+  // A fountain never repeats an index, so everything accepted is distinct.
+  EXPECT_EQ(report.received, report.distinct + report.rejected);
+  EXPECT_GE(report.distinct, 200u);
+}
+
+TEST(SessionDataPath, RatelessSourceStreamsPastNominalNWithoutWraparound) {
+  // Start the fountain at index n: the whole decode happens from symbols a
+  // block code could never emit, proving the engine's index plumbing (seen
+  // bitmap, sink, encoder regeneration) is not bounded by encoded_count().
+  lt::LtParams p;
+  p.k = 400;
+  p.symbol_size = 16;
+  p.seed = 77;
+  const lt::LtCode code(p);
+  util::SymbolMatrix file(400, 16);
+  file.fill_random(41);
+  const auto encoder = code.make_encoder(file);
+
+  SessionConfig config;
+  config.horizon = 100000;
+  Session session(code, config);
+  ReceiverSpec spec;
+  spec.sink =
+      std::make_unique<engine::DataSink>(code.make_decoder(), *encoder);
+  auto* sink = static_cast<engine::DataSink*>(spec.sink.get());
+  const ReceiverId id = session.add_receiver(std::move(spec));
+  const SourceId src = session.add_source(std::make_shared<RatelessSource>(
+      code.codec_id(), /*offset=*/code.encoded_count()));
+  util::Rng rng(9);
+  session.subscribe(id, src,
+                    std::make_unique<LossLink>(
+                        std::make_unique<net::BernoulliLoss>(0.2, rng())));
+
+  const auto report = session.run().front();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(sink->source(), file);
+  EXPECT_GE(report.distinct, 400u);
+  EXPECT_EQ(report.received, report.distinct);  // no duplicates, ever
 }
 
 TEST(SessionDataPath, StridedSourcesReconstructPayload) {

@@ -334,7 +334,7 @@ TEST(PacketHeader, CodecByteRoundTripsForEveryFamily) {
   // multi-source clients can reject mismatched senders by header alone.
   for (const fec::CodecId codec :
        {fec::CodecId::kTornado, fec::CodecId::kReedSolomon,
-        fec::CodecId::kInterleaved}) {
+        fec::CodecId::kInterleaved, fec::CodecId::kLT}) {
     net::PacketHeader h{42, 7, codec, 1};
     std::vector<std::uint8_t> buf(net::PacketHeader::kWireSize);
     h.serialize(util::ByteSpan(buf));
@@ -342,6 +342,17 @@ TEST(PacketHeader, CodecByteRoundTripsForEveryFamily) {
     EXPECT_EQ(back.codec, codec);
     EXPECT_EQ(back, h);
   }
+  // The sentinel-derived bound: the first unassigned byte must NOT parse —
+  // frame a valid packet, patch in codec kMaxCodecId + 1, re-checksum.
+  util::SymbolMatrix payload(1, 8);
+  payload.fill_random(3);
+  auto wire = net::frame_packet(
+      net::PacketHeader{1, 2, fec::CodecId::kLT, 0}, payload.row(0));
+  EXPECT_TRUE(net::parse_packet(util::ConstByteSpan(wire)).ok());
+  wire[8] = static_cast<std::uint8_t>(fec::kMaxCodecId) + 1;
+  wire[9] = expected_header_crc(wire);
+  EXPECT_EQ(net::parse_packet(util::ConstByteSpan(wire)).error,
+            net::ParseError::kBadCodec);
 }
 
 TEST(PacketHeader, ShortBufferRejected) {
