@@ -83,6 +83,9 @@ class FaultLink final : public LinkModel {
     inner_->set_subscriber_rate(packets_per_tick);
   }
   const void* shared_state() const override { return inner_->shared_state(); }
+  void append_shared_states(std::vector<const void*>& out) const override {
+    inner_->append_shared_states(out);
+  }
 
   const Counters& counters() const { return counters_; }
   const FaultProfile& profile() const { return profile_; }

@@ -50,6 +50,7 @@ void SharedBottleneck::set_rate(std::uint32_t slot, double packets_per_tick) {
   offered_ += packets_per_tick - rates_[slot];
   rates_[slot] = packets_per_tick;
   if (offered_ < 0.0) offered_ = 0.0;  // guard float cancellation drift
+  if (offered_ > peak_offered_) peak_offered_ = offered_;
 }
 
 BottleneckLink::BottleneckLink(std::shared_ptr<SharedBottleneck> bottleneck,

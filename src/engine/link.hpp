@@ -57,6 +57,15 @@ class LinkModel {
   /// links share state to be simulated in the same cohort (their rates must
   /// aggregate concurrently) and validates that before running.
   virtual const void* shared_state() const { return nullptr; }
+
+  /// Appends the identity of *every* piece of mutable state this link shares
+  /// with other links. A link over a single queue has one; a PathLink
+  /// (engine/topology.hpp) has one per traversed edge; a decorator forwards
+  /// to the link it wraps. Session::run validates cohort confinement against
+  /// this full set — shared_state() alone under-reports multi-edge links.
+  virtual void append_shared_states(std::vector<const void*>& out) const {
+    if (const void* state = shared_state()) out.push_back(state);
+  }
 };
 
 /// Lossless link.
@@ -118,9 +127,16 @@ class SharedBottleneck {
   std::uint32_t attach();
   void set_rate(std::uint32_t slot, double packets_per_tick);
 
+  /// Highest offered load ever declared, packets per tick. Divided by
+  /// capacity() this is the edge's peak utilization — the "where do hot
+  /// links concentrate" measurement of the topology benches. Pure
+  /// observation: tracking it changes no rate, loss, or RNG arithmetic.
+  double peak_offered() const { return peak_offered_; }
+
  private:
   double capacity_;
   double offered_ = 0.0;
+  double peak_offered_ = 0.0;
   std::vector<double> rates_;
 };
 

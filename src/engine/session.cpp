@@ -580,11 +580,16 @@ std::vector<ReceiverReport> Session::run() {
   // Shared link state (bottlenecks) aggregates rates across receivers, so
   // every receiver touching one must be simulated in the same cohort. This
   // is validated before any sharding, so the scenario is rejected with the
-  // same error at every thread count.
+  // same error at every thread count. append_shared_states covers *every*
+  // edge a link references — a PathLink that only shares the last queue of
+  // its path with another receiver still couples the two.
   std::unordered_map<const void*, std::pair<std::size_t, std::size_t>> shared;
+  std::vector<const void*> states;
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
     for (const Subscription& sub : receivers_[i].subs) {
-      if (const void* group = sub.link->shared_state()) {
+      states.clear();
+      sub.link->append_shared_states(states);
+      for (const void* group : states) {
         auto [it, fresh] = shared.try_emplace(group, std::make_pair(i, i));
         if (!fresh) it->second.second = i;  // receivers are added in order
       }

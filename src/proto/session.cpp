@@ -1,6 +1,7 @@
 #include "proto/session.hpp"
 
 #include <memory>
+#include <stdexcept>
 
 #include "net/loss.hpp"
 #include "proto/server.hpp"
@@ -36,15 +37,22 @@ SessionResult run_session(const fec::ErasureCode& code,
                           const std::vector<SimClientConfig>& clients,
                           std::uint64_t seed, std::uint64_t max_rounds,
                           std::size_t threads) {
-  return run_session(code, proto, clients, {}, seed, max_rounds, threads);
+  return run_session(code, proto, clients, std::vector<BottleneckSpec>{},
+                     seed, max_rounds, threads);
 }
 
-SessionResult run_session(const fec::ErasureCode& code,
-                          const ProtocolConfig& proto,
-                          const std::vector<SimClientConfig>& clients,
-                          const std::vector<BottleneckSpec>& bottlenecks,
-                          std::uint64_t seed, std::uint64_t max_rounds,
-                          std::size_t threads) {
+namespace {
+
+// One body behind both the bottleneck-list and the topology overloads; the
+// bottleneck path (topology == nullptr) is untouched arithmetic, so legacy
+// scenarios stay byte-identical.
+SessionResult run_session_impl(const fec::ErasureCode& code,
+                               const ProtocolConfig& proto,
+                               const std::vector<SimClientConfig>& clients,
+                               const std::vector<BottleneckSpec>& bottlenecks,
+                               const TopologySpec* topology,
+                               std::uint64_t seed, std::uint64_t max_rounds,
+                               std::size_t threads) {
   engine::SessionConfig engine_config;
   engine_config.horizon = max_rounds;
   engine_config.threads = threads;
@@ -57,9 +65,25 @@ SessionResult run_session(const fec::ErasureCode& code,
   for (const BottleneckSpec& spec : bottlenecks) {
     queues.push_back(std::make_shared<engine::SharedBottleneck>(spec.capacity));
   }
+  // Edge queues are materialized once and shared by every PathLink, so
+  // receivers whose root → leaf paths overlap couple through the same
+  // fluid queues.
+  std::vector<std::shared_ptr<engine::SharedBottleneck>> edge_queues;
+  if (topology != nullptr) {
+    edge_queues = engine::make_edge_queues(topology->topology);
+  }
 
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const SimClientConfig& client = clients[i];
+    if (client.leaf >= 0 && client.bottleneck >= 0) {
+      throw std::invalid_argument(
+          "run_session: a client may set leaf or bottleneck, not both");
+    }
+    if (client.leaf >= 0 && topology == nullptr) {
+      throw std::invalid_argument(
+          "run_session: client names a topology leaf but the session has "
+          "no TopologySpec");
+    }
     // Distinct, deterministic streams per receiver: one for the channel, one
     // for the adaptation draws.
     const std::uint64_t rx_seed = seed + 1000003ULL * (i + 1);
@@ -72,14 +96,26 @@ SessionResult run_session(const fec::ErasureCode& code,
       spec.controller =
           std::make_unique<cc::LossDrivenPolicy>(client.loss_driven_config);
     }
-    if (client.bottleneck >= 0) {
-      // Real congestion comes from the shared queue; the synthetic
+    if (client.bottleneck >= 0 || client.leaf >= 0) {
+      // Real congestion comes from the shared queue(s); the synthetic
       // capacity-drift environment would double-count it.
       spec.policy.capacity_change_prob = 0.0;
       spec.policy.congestion_extra_loss = 0.0;
     }
     const engine::ReceiverId id = session.add_receiver(std::move(spec));
-    if (client.bottleneck >= 0) {
+    if (client.leaf >= 0) {
+      if (static_cast<std::size_t>(client.leaf) >=
+          topology->topology.node_count()) {
+        throw std::out_of_range("run_session: client leaf is not a node");
+      }
+      session.subscribe(
+          id, source,
+          engine::make_path_link(topology->topology, edge_queues,
+                                 topology->root,
+                                 static_cast<engine::NodeId>(client.leaf),
+                                 rx_seed, client.base_loss,
+                                 topology->model_latency));
+    } else if (client.bottleneck >= 0) {
       const auto& queue =
           queues.at(static_cast<std::size_t>(client.bottleneck));
       session.subscribe(id, source,
@@ -116,6 +152,27 @@ SessionResult run_session(const fec::ErasureCode& code,
     rep.duplicates_dropped = er.duplicates_dropped;
   }
   return result;
+}
+
+}  // namespace
+
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          const std::vector<BottleneckSpec>& bottlenecks,
+                          std::uint64_t seed, std::uint64_t max_rounds,
+                          std::size_t threads) {
+  return run_session_impl(code, proto, clients, bottlenecks, nullptr, seed,
+                          max_rounds, threads);
+}
+
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          const TopologySpec& topology, std::uint64_t seed,
+                          std::uint64_t max_rounds, std::size_t threads) {
+  return run_session_impl(code, proto, clients, {}, &topology, seed,
+                          max_rounds, threads);
 }
 
 }  // namespace fountain::proto

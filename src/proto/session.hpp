@@ -11,6 +11,7 @@
 
 #include "cc/policies.hpp"
 #include "engine/session.hpp"
+#include "engine/topology.hpp"
 #include "fec/codec_registry.hpp"
 #include "fec/erasure_code.hpp"
 #include "proto/config.hpp"
@@ -23,6 +24,21 @@ namespace fountain::proto {
 /// queueing loss (one member joining a layer raises its siblings' loss).
 struct BottleneckSpec {
   double capacity = 0.0;  // packets per round through the shared queue
+};
+
+/// A full distribution network for a session: the server sits at `root` and
+/// each receiver with `SimClientConfig::leaf >= 0` is attached to that node,
+/// its packets crossing every edge on the root → leaf path through one
+/// engine::PathLink (one SharedBottleneck per edge, materialized once and
+/// shared by all receivers, so overlapping paths couple). `model_latency`
+/// sums edge RTTs into a delivery latency for surviving packets; leave it
+/// false for loss-only studies. Receivers whose paths share any edge must
+/// fit in one engine cohort (the engine rejects the scenario otherwise, at
+/// any thread count) — in practice: one tree, one cohort.
+struct TopologySpec {
+  engine::Topology topology;
+  engine::NodeId root = 0;
+  bool model_latency = false;
 };
 
 /// Per-receiver scenario knobs (the old SimClient's configuration): the
@@ -44,6 +60,9 @@ struct SimClientConfig {
   engine::Time join = 0;               // asynchronous joins (churn scenarios)
   int bottleneck = -1;                 // index into the session's bottleneck
                                        // list; -1 = private channel
+  int leaf = -1;                       // node of the session's TopologySpec
+                                       // this receiver sits at; -1 = none.
+                                       // Mutually exclusive with bottleneck.
   bool loss_driven = false;            // use cc::LossDrivenPolicy
   cc::LossDrivenConfig loss_driven_config;  // knobs when loss_driven
 };
@@ -101,6 +120,18 @@ SessionResult run_session(const fec::ErasureCode& code,
                           const std::vector<BottleneckSpec>& bottlenecks,
                           std::uint64_t seed, std::uint64_t max_rounds,
                           std::size_t threads = 0);
+
+/// As above over a distribution network: clients whose `leaf` is >= 0 run
+/// behind a PathLink across every edge of the root → leaf path, so loss
+/// compounds along the path and receivers whose paths overlap couple through
+/// the shared per-edge queues. Throws std::out_of_range on a client naming a
+/// node the topology does not have and std::invalid_argument if a client
+/// sets both `leaf` and `bottleneck` (or if no path exists).
+SessionResult run_session(const fec::ErasureCode& code,
+                          const ProtocolConfig& proto,
+                          const std::vector<SimClientConfig>& clients,
+                          const TopologySpec& topology, std::uint64_t seed,
+                          std::uint64_t max_rounds, std::size_t threads = 0);
 
 /// As above, but the code is instantiated from advertised wire/control
 /// fields via the built-in fec::CodecRegistry — the form a real deployment

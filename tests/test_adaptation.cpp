@@ -24,6 +24,7 @@
 #include "cc/policies.hpp"
 #include "cc/trace.hpp"
 #include "engine/session.hpp"
+#include "engine/topology.hpp"
 #include "fec/reed_solomon.hpp"
 #include "net/loss.hpp"
 #include "proto/server.hpp"
@@ -279,6 +280,137 @@ TEST(AdaptationSoak, ThreadCountEquivalenceUnderFuzz) {
     for (const std::size_t threads : {2, 5}) {
       SCOPED_TRACE(::testing::Message() << "threads=" << threads);
       const auto outcome = run_equivalence_scenario(seed, threads);
+      ASSERT_EQ(golden.reports.size(), outcome.reports.size());
+      for (std::size_t i = 0; i < golden.reports.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "receiver " << i);
+        const auto& a = golden.reports[i];
+        const auto& b = outcome.reports[i];
+        EXPECT_EQ(a.completed, b.completed);
+        EXPECT_EQ(a.completed_at, b.completed_at);
+        EXPECT_EQ(a.addressed, b.addressed);
+        EXPECT_EQ(a.received, b.received);
+        EXPECT_EQ(a.distinct, b.distinct);
+        EXPECT_EQ(a.lost, b.lost);
+        EXPECT_EQ(a.rejected, b.rejected);
+        EXPECT_EQ(a.level_changes, b.level_changes);
+        EXPECT_EQ(a.final_level, b.final_level);
+        EXPECT_EQ(a.peak_level, b.peak_level);
+      }
+      ASSERT_EQ(golden.cc_records.size(), outcome.cc_records.size());
+      for (std::size_t i = 0; i < golden.cc_records.size(); ++i) {
+        EXPECT_EQ(golden.cc_records[i], outcome.cc_records[i])
+            << "record " << i;
+      }
+    }
+  }
+}
+
+/// The topology-plane twin of run_equivalence_scenario: three fuzzed
+/// bottleneck trees (random depth, arity, leaf assignment, per-edge
+/// capacity), one tree per cohort, every receiver behind a PathLink across
+/// its root-to-leaf path. Every draw comes from `master_seed` alone, so two
+/// calls construct identical sessions and only threads differs.
+EquivalenceOutcome run_topology_scenario(std::uint64_t master_seed,
+                                         std::size_t threads) {
+  util::Rng rng(master_seed);
+
+  const unsigned g = 2 + static_cast<unsigned>(rng.below(3));
+  const std::size_t k = 24 + rng.below(40);
+  const auto code = fec::make_reed_solomon(fec::RsKind::kCauchy, k, k, 8);
+  proto::ProtocolConfig cfg;
+  cfg.layers = g;
+  const auto server = std::make_shared<proto::FountainServer>(
+      cfg, code->encoded_count(), 0x5eed ^ master_seed, code->codec_id());
+  const double rate0 = server->subscribed_rate(0);
+
+  const std::size_t trees = 3;
+  const std::size_t cohort = 8 + rng.below(8);  // receivers per tree
+
+  engine::SessionConfig config;
+  config.horizon = 4000;
+  config.cohort_size = cohort;  // tree t's members fill cohort t exactly
+  config.threads = threads;
+  Session session(*code, config);
+  const SourceId src = session.add_source(server);
+
+  cc::TraceLog log(trees * cohort);
+  for (std::size_t t = 0; t < trees; ++t) {
+    const unsigned depth = 2 + static_cast<unsigned>(rng.below(2));
+    const unsigned arity = 2 + static_cast<unsigned>(rng.below(2));
+    const std::vector<double> placeholder(depth, 1.0);
+    engine::Topology topo = engine::Topology::bottleneck_tree(
+        depth, arity, std::span<const double>(placeholder));
+    const std::vector<engine::NodeId> leaves = topo.leaves();
+
+    // Spread the cohort over random leaves first, then price each edge off
+    // the level-0 load actually crossing it (>= 0.9x, so no path starves).
+    std::vector<engine::NodeId> rx_leaf(cohort);
+    std::vector<std::size_t> edge_load(topo.edge_count(), 0);
+    for (std::size_t m = 0; m < cohort; ++m) {
+      rx_leaf[m] = leaves[rng.below(leaves.size())];
+      for (const std::uint32_t e : topo.path(0, rx_leaf[m])) ++edge_load[e];
+    }
+    for (std::size_t e = 0; e < topo.edge_count(); ++e) {
+      topo.set_edge_capacity(
+          e, std::max(1.0, static_cast<double>(edge_load[e]) * rate0 *
+                               (0.9 + 1.7 * rng.uniform())));
+    }
+    const auto queues = engine::make_edge_queues(topo);
+
+    for (std::size_t m = 0; m < cohort; ++m) {
+      const std::size_t i = t * cohort + m;
+      ReceiverSpec spec;
+      spec.join = rng.below(60);
+      if (rng.chance(0.15)) {  // churn: leaves mid-session
+        spec.leave = spec.join + 50 + rng.below(800);
+      }
+      spec.policy.seed = rng();
+      spec.policy.initial_level = static_cast<unsigned>(rng.below(g));
+      switch (rng.below(4)) {
+        case 0:  // fixed level
+          break;
+        case 1:  // legacy burst-probe machinery + synthetic environment
+          spec.policy.adaptive = true;
+          spec.policy.initial_capacity = static_cast<unsigned>(rng.below(g));
+          spec.policy.capacity_change_prob = 0.02 * rng.uniform();
+          spec.policy.congestion_extra_loss = 0.5 * rng.uniform();
+          break;
+        case 2:
+          spec.controller =
+              log.wrap(i, spec.join, std::make_unique<cc::LossDrivenPolicy>(
+                                         random_loss_driven_config(rng)));
+          break;
+        default:
+          spec.controller =
+              log.wrap(i, spec.join, std::make_unique<ChaosPolicy>());
+          break;
+      }
+      const ReceiverId id = session.add_receiver(std::move(spec));
+      session.subscribe(id, src,
+                        engine::make_path_link(topo, queues, 0, rx_leaf[m],
+                                               rng(), 0.04 * rng.uniform()));
+    }
+  }
+
+  EquivalenceOutcome out;
+  out.reports = session.run();
+  out.cc_records = log.records();
+  return out;
+}
+
+TEST(AdaptationSoak, TopologyPathFuzzThreadEquivalence) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "master_seed=" << seed);
+    const auto golden = run_topology_scenario(0x7031ULL * seed + seed, 1);
+    ASSERT_FALSE(golden.reports.empty());
+    for (const auto& rep : golden.reports) {
+      EXPECT_LT(rep.peak_level, 5u);   // clamped into [0, g-1], g <= 4
+      EXPECT_LT(rep.final_level, 5u);
+    }
+    for (const std::size_t threads : {2, 5}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      const auto outcome =
+          run_topology_scenario(0x7031ULL * seed + seed, threads);
       ASSERT_EQ(golden.reports.size(), outcome.reports.size());
       for (std::size_t i = 0; i < golden.reports.size(); ++i) {
         SCOPED_TRACE(::testing::Message() << "receiver " << i);
